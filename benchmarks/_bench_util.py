@@ -1,0 +1,19 @@
+"""Helpers shared by the benchmark files (kept out of conftest so the
+module can be imported unambiguously as ``_bench_util``)."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    path = os.path.join(OUT_DIR, f"{name}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+    # stdout so `pytest -s` / captured-output sections show the tables
+    sys.stdout.write(f"\n===== {name} (saved to {path}) =====\n{text}\n")

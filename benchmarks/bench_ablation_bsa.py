@@ -1,0 +1,84 @@
+"""Ablation study of BSA's design choices (beyond the paper).
+
+DESIGN.md calls out four interpretation decisions; this bench quantifies
+each against the reproduction defaults on a fixed random workload:
+
+* ``bsa``             — defaults (global scope, shortest routes, sweeps to
+                        convergence, always-examine trigger);
+* ``bsa-1sweep``      — the ICPP text's single breadth-first sweep;
+* ``bsa-neighbors``   — literal one-hop migration scope;
+* ``bsa-incremental`` — literal hop-extension routing (+ neighbor scope);
+* ``bsa-literal``     — all of the above plus the journal ST>DRT trigger;
+* ``bsa-novip``       — VIP-following disabled;
+* ``bsa-append``      — append instead of earliest-gap insertion;
+* ``dls`` / ``dls-insertion`` — the baseline with and without the
+                        insertion-capable link substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.runner import build_cell_system, run_cell
+from repro.util.tables import format_table
+
+from _bench_util import publish
+
+VARIANTS = [
+    "bsa",
+    "bsa-1sweep",
+    "bsa-neighbors",
+    "bsa-incremental",
+    "bsa-literal",
+    "bsa-novip",
+    "bsa-append",
+    "dls",
+    "dls-insertion",
+    "heft",
+    "cpop",
+    "etf",
+]
+
+
+@pytest.fixture(scope="module")
+def ablation_results(scale):
+    results = {}
+    size = scale.sizes[min(1, len(scale.sizes) - 1)]
+    for variant in VARIANTS:
+        cell = Cell("random", "random", size, 1.0, "hypercube", variant)
+        results[variant] = run_cell(cell)
+    return results, size
+
+
+def test_ablation_table(benchmark, ablation_results, scale):
+    results, size = ablation_results
+    base = results["bsa"].schedule_length
+    rows = [
+        [v, r.schedule_length, r.schedule_length / base, r.runtime_s]
+        for v, r in results.items()
+    ]
+    publish(
+        "ablation_bsa",
+        format_table(
+            ["variant", "SL", "vs bsa", "runtime s"],
+            rows,
+            title=f"BSA ablations — random graph n~{size}, hypercube16, g=1.0",
+            ndigits=3,
+        ),
+    )
+    # the reproduction defaults should dominate the literal-text variants
+    assert results["bsa"].schedule_length <= results["bsa-literal"].schedule_length
+    assert results["bsa"].schedule_length <= results["bsa-incremental"].schedule_length
+
+    cell = Cell("random", "random", scale.sizes[0], 1.0, "hypercube", "bsa-literal")
+    system = build_cell_system(cell)
+    from repro.core.bsa import BSAOptions, schedule_bsa
+
+    benchmark(
+        lambda: schedule_bsa(
+            system,
+            BSAOptions(migration_trigger="st_gt_drt", migration_scope="neighbors",
+                       route_mode="incremental", n_sweeps=1),
+        )
+    )

@@ -1,0 +1,72 @@
+"""Connectivity ablation (extends the paper's topology observation).
+
+The paper's Figures 3/4 panels show both algorithms producing shorter
+schedules as processor connectivity rises and BSA's advantage growing as
+it falls. This bench sweeps seven topologies from chain to clique on one
+workload and asserts the monotone trend at the extremes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HeterogeneousSystem,
+    binary_tree,
+    chain,
+    clique,
+    hypercube,
+    mesh2d,
+    random_topology,
+    ring,
+    schedule_bsa,
+    schedule_dls,
+)
+from repro.core.bsa import BSAOptions
+from repro.schedule.validator import validate_schedule
+from repro.util.tables import format_table
+from repro.workloads import random_graph
+
+from _bench_util import publish
+
+
+@pytest.fixture(scope="module")
+def connectivity_sweep(scale):
+    graph = random_graph(scale.sizes[0], granularity=1.0, seed=3)
+    topologies = [
+        chain(16), binary_tree(16), ring(16), mesh2d(4, 4),
+        random_topology(16, 2, 8, seed=3), hypercube(16), clique(16),
+    ]
+    rows = []
+    for topo in topologies:
+        system = HeterogeneousSystem.sample(graph, topo, het_range=(1, 50), seed=3)
+        bsa = schedule_bsa(system)
+        dls = schedule_dls(system)
+        validate_schedule(bsa)
+        validate_schedule(dls)
+        rows.append((topo.name, topo.n_links, topo.diameter(),
+                     bsa.schedule_length(), dls.schedule_length()))
+    return graph, rows
+
+
+def test_connectivity_trend(benchmark, connectivity_sweep):
+    graph, rows = connectivity_sweep
+    publish(
+        "connectivity_sweep",
+        format_table(
+            ["topology", "links", "diameter", "BSA SL", "DLS SL"],
+            [[*r] for r in rows],
+            title=f"Connectivity sweep — {graph.name}, 16 processors, het U[1,50]",
+        ),
+    )
+    by_name = {name: (bsa, dls) for name, _, _, bsa, dls in rows}
+    # extremes: clique beats chain for both algorithms (monotone trend)
+    assert by_name["clique16"][0] < by_name["chain16"][0]
+    assert by_name["clique16"][1] < by_name["chain16"][1]
+    # BSA's advantage is largest at the sparse end (paper's observation)
+    chain_ratio = by_name["chain16"][0] / by_name["chain16"][1]
+    clique_ratio = by_name["clique16"][0] / by_name["clique16"][1]
+    assert chain_ratio <= clique_ratio + 0.05
+
+    system = HeterogeneousSystem.sample(graph, ring(16), het_range=(1, 50), seed=3)
+    benchmark(lambda: schedule_bsa(system, BSAOptions()))

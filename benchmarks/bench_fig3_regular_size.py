@@ -1,0 +1,39 @@
+"""Figure 3: average SL vs graph size — regular graphs, four topologies.
+
+Regenerates the four panels (ring / hypercube / clique / random, BSA vs
+DLS averaged over applications and granularities) and benchmarks one
+representative cell.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.figures import figure3
+from repro.experiments.reporting import render_improvement_summary, render_panels
+from repro.experiments.runner import build_cell_system, run_cell
+from repro.core.bsa import BSAOptions, schedule_bsa
+
+from _bench_util import publish
+
+
+@pytest.fixture(scope="module")
+def fig3_panels(scale):
+    return figure3(scale=scale)
+
+
+def test_fig3_regular_graphs_vs_size(benchmark, fig3_panels, scale):
+    publish(
+        "fig3_regular_size",
+        render_panels(fig3_panels) + "\n\n" + render_improvement_summary(fig3_panels),
+    )
+    # paper shape: BSA outperforms DLS on average over the size sweep
+    for topo, fig in fig3_panels.items():
+        ratios = [b / d for b, d in zip(fig.series["bsa"], fig.series["dls"])]
+        mean_ratio = sum(ratios) / len(ratios)
+        assert mean_ratio < 1.15, f"{topo}: BSA/DLS mean ratio {mean_ratio:.3f}"
+
+    cell = Cell("regular", scale.regular_apps[0], scale.sizes[0], 1.0, "ring", "bsa")
+    system = build_cell_system(cell)
+    benchmark(lambda: schedule_bsa(system, BSAOptions()))

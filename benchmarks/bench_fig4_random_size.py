@@ -1,0 +1,33 @@
+"""Figure 4: average SL vs graph size — random graphs, four topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.figures import figure4
+from repro.experiments.reporting import render_improvement_summary, render_panels
+from repro.experiments.runner import build_cell_system
+from repro.core.bsa import BSAOptions, schedule_bsa
+
+from _bench_util import publish
+
+
+@pytest.fixture(scope="module")
+def fig4_panels(scale):
+    return figure4(scale=scale)
+
+
+def test_fig4_random_graphs_vs_size(benchmark, fig4_panels, scale):
+    publish(
+        "fig4_random_size",
+        render_panels(fig4_panels) + "\n\n" + render_improvement_summary(fig4_panels),
+    )
+    for topo, fig in fig4_panels.items():
+        ratios = [b / d for b, d in zip(fig.series["bsa"], fig.series["dls"])]
+        mean_ratio = sum(ratios) / len(ratios)
+        assert mean_ratio < 1.2, f"{topo}: BSA/DLS mean ratio {mean_ratio:.3f}"
+
+    cell = Cell("random", "random", scale.sizes[0], 1.0, "hypercube", "bsa")
+    system = build_cell_system(cell)
+    benchmark(lambda: schedule_bsa(system, BSAOptions()))

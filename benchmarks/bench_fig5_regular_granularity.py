@@ -1,0 +1,38 @@
+"""Figure 5: average SL vs granularity — regular graphs, four topologies.
+
+Shares its cell runs with Figure 3 (the on-disk cache makes the second
+aggregation nearly free) and re-averages them over sizes per granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.figures import figure5
+from repro.experiments.reporting import render_improvement_summary, render_panels
+from repro.experiments.runner import build_cell_system
+from repro.baselines.dls import schedule_dls
+
+from _bench_util import publish
+
+
+@pytest.fixture(scope="module")
+def fig5_panels(scale):
+    return figure5(scale=scale)
+
+
+def test_fig5_regular_graphs_vs_granularity(benchmark, fig5_panels, scale):
+    publish(
+        "fig5_regular_granularity",
+        render_panels(fig5_panels) + "\n\n" + render_improvement_summary(fig5_panels),
+    )
+    # paper shape: schedule lengths increase sharply as granularity drops
+    for topo, fig in fig5_panels.items():
+        for series in fig.series.values():
+            fine, coarse = series[0], series[-1]
+            assert fine > coarse, f"{topo}: SL(g=0.1) should exceed SL(g=10)"
+
+    cell = Cell("regular", scale.regular_apps[0], scale.sizes[0], 0.1, "ring", "dls")
+    system = build_cell_system(cell)
+    benchmark(lambda: schedule_dls(system))

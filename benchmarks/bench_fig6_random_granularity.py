@@ -1,0 +1,34 @@
+"""Figure 6: average SL vs granularity — random graphs, four topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import render_improvement_summary, render_panels
+from repro.experiments.runner import build_cell_system
+from repro.baselines.dls import schedule_dls
+
+from _bench_util import publish
+
+
+@pytest.fixture(scope="module")
+def fig6_panels(scale):
+    return figure6(scale=scale)
+
+
+def test_fig6_random_graphs_vs_granularity(benchmark, fig6_panels, scale):
+    publish(
+        "fig6_random_granularity",
+        render_panels(fig6_panels) + "\n\n" + render_improvement_summary(fig6_panels),
+    )
+    for topo, fig in fig6_panels.items():
+        for series in fig.series.values():
+            assert series[0] > series[-1], (
+                f"{topo}: SL(g=0.1) should exceed SL(g=10)"
+            )
+
+    cell = Cell("random", "random", scale.sizes[0], 10.0, "clique", "dls")
+    system = build_cell_system(cell)
+    benchmark(lambda: schedule_dls(system))

@@ -1,0 +1,36 @@
+"""Figure 7: effect of the heterogeneity range — random graphs, hypercube.
+
+The paper widens exec-cost factors over [1,10] / [1,50] / [1,100] / [1,200]
+and reports both algorithms slowing down, BSA more gracefully than DLS.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import render_figure
+from repro.experiments.runner import build_cell_system
+from repro.core.bsa import BSAOptions, schedule_bsa
+
+from _bench_util import publish
+
+
+@pytest.fixture(scope="module")
+def fig7(scale):
+    return figure7(scale=scale)
+
+
+def test_fig7_heterogeneity(benchmark, fig7, scale):
+    publish("fig7_heterogeneity", render_figure(fig7))
+    # paper shape: BSA tracks or beats DLS across the heterogeneity sweep
+    ratios = [b / d for b, d in zip(fig7.series["bsa"], fig7.series["dls"])]
+    assert sum(ratios) / len(ratios) < 1.2
+
+    cell = Cell(
+        "random", "random", scale.het_sweep_sizes[0], 1.0, "hypercube",
+        "bsa", het_lo=1, het_hi=200,
+    )
+    system = build_cell_system(cell)
+    benchmark(lambda: schedule_bsa(system, BSAOptions()))

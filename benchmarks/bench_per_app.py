@@ -1,0 +1,63 @@
+"""Per-application breakdown (paper §3: "each algorithm generated similar
+performance for the three types of applications").
+
+The paper averages its regular-suite results across applications because
+the per-app behaviour was similar; this bench verifies that claim holds
+in the reproduction — the BSA/DLS ratio per application should cluster,
+with no app flipping the verdict by itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.runner import run_cell
+from repro.util.tables import format_table
+
+from _bench_util import publish
+
+APPS = ("gauss", "lu", "laplace", "mva")
+
+
+@pytest.fixture(scope="module")
+def per_app(scale):
+    results = {}
+    size = scale.sizes[-1]
+    for app in APPS:
+        sls = {}
+        for algorithm in ("dls", "bsa"):
+            values = []
+            for gran in scale.granularities:
+                cell = Cell("regular", app, size, gran, "ring", algorithm)
+                values.append(run_cell(cell).schedule_length)
+            # geometric mean over granularities (they span two decades)
+            prod = 1.0
+            for v in values:
+                prod *= v
+            sls[algorithm] = prod ** (1.0 / len(values))
+        results[app] = sls
+    return results, size
+
+
+def test_per_app_consistency(benchmark, per_app, scale):
+    results, size = per_app
+    rows = [
+        [app, sls["dls"], sls["bsa"], sls["bsa"] / sls["dls"]]
+        for app, sls in results.items()
+    ]
+    publish(
+        "per_app_breakdown",
+        format_table(
+            ["application", "DLS (geomean SL)", "BSA (geomean SL)", "BSA/DLS"],
+            rows,
+            title=f"Per-application behaviour — n~{size}, ring16, geomean over granularities",
+            ndigits=3,
+        ),
+    )
+    ratios = [sls["bsa"] / sls["dls"] for sls in results.values()]
+    # similar performance across applications: ratios within a 0.45 band
+    assert max(ratios) - min(ratios) < 0.45, ratios
+
+    cell = Cell("regular", "mva", scale.sizes[0], 1.0, "ring", "bsa")
+    benchmark(lambda: run_cell(cell, use_cache=False))

@@ -1,0 +1,47 @@
+"""Scheduler runtime study (§3's closing remark).
+
+The paper measured "the running times of both algorithms, which were
+about the same because the two algorithms are of comparable time
+complexity". This bench times BSA and DLS on the same workload so
+pytest-benchmark's comparison table reports the ratio directly, and
+publishes a wall-clock-vs-size series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import runtime_study
+from repro.experiments.reporting import render_figure
+from repro.experiments.runner import build_cell_system
+from repro.experiments.config import Cell
+from repro.baselines.dls import schedule_dls
+from repro.core.bsa import BSAOptions, schedule_bsa
+
+from _bench_util import publish
+
+
+@pytest.fixture(scope="module")
+def runtime_system(scale):
+    cell = Cell("random", "random", scale.sizes[-1], 1.0, "hypercube", "bsa")
+    return build_cell_system(cell)
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_runtime_bsa(benchmark, runtime_system):
+    schedule = benchmark(lambda: schedule_bsa(runtime_system, BSAOptions()))
+    assert schedule.schedule_length() > 0
+
+
+@pytest.mark.benchmark(group="runtime")
+def test_runtime_dls(benchmark, runtime_system):
+    schedule = benchmark(lambda: schedule_dls(runtime_system))
+    assert schedule.schedule_length() > 0
+
+
+def test_runtime_series(benchmark, scale):
+    fig = runtime_study(scale=scale)
+    publish("runtime_vs_size", render_figure(fig, ndigits=3))
+    assert all(v >= 0 for series in fig.series.values() for v in series)
+    # the timed portion is just the rendering; the series above is cached
+    benchmark(lambda: render_figure(fig, ndigits=3))

@@ -1,0 +1,23 @@
+"""Shared benchmark infrastructure.
+
+Every figure bench (a) regenerates its figure's data through the cached
+experiment runner, (b) prints the paper-style ASCII table and writes it to
+``benchmarks/out/``, and (c) hands pytest-benchmark one representative
+scheduling call so the timing tables stay meaningful.
+
+Scale control: benches default to the ``smoke`` grid so a cold
+``pytest benchmarks/ --benchmark-only`` finishes in minutes; set
+``REPRO_SCALE=default`` or ``REPRO_SCALE=full`` for the larger grids
+(results are cached on disk across runs, so re-aggregation is free).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Scale, current_scale
+
+
+@pytest.fixture(scope="session")
+def scale() -> Scale:
+    return current_scale(default="smoke")

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Scheduling a real numerical kernel: Gaussian elimination.
+
+The paper's regular suite models matrix algorithms as task graphs; this
+example builds the Gaussian-elimination DAG for a few matrix sizes, sweeps
+the paper's three granularities, and shows how BSA and DLS compare as
+communication gets more expensive — the regime where link contention
+actually matters.
+
+Run:  python examples/gaussian_elimination.py
+"""
+
+from repro import (
+    HeterogeneousSystem,
+    hypercube,
+    schedule_bsa,
+    schedule_dls,
+    validate_schedule,
+)
+from repro.workloads import apply_granularity, gaussian_elimination
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    topology = hypercube(16)
+    rows = []
+    for n_dim in (8, 12, 16):
+        for gran in (0.1, 1.0, 10.0):
+            graph = gaussian_elimination(n_dim)
+            apply_granularity(graph, gran, seed=1)
+            system = HeterogeneousSystem.sample(
+                graph, topology, het_range=(1, 50), seed=1
+            )
+            bsa = schedule_bsa(system)
+            dls = schedule_dls(system)
+            validate_schedule(bsa)
+            validate_schedule(dls)
+            rows.append([
+                f"{n_dim}x{n_dim}",
+                graph.n_tasks,
+                gran,
+                bsa.schedule_length(),
+                dls.schedule_length(),
+                bsa.schedule_length() / dls.schedule_length(),
+            ])
+    print(format_table(
+        ["matrix", "tasks", "granularity", "BSA SL", "DLS SL", "BSA/DLS"],
+        rows,
+        title="Gaussian elimination on a 16-processor hypercube (het U[1,50])",
+        ndigits=3,
+    ))
+    print("\ngranularity 0.1 = messages ~10x task cost (communication-bound);")
+    print("granularity 10  = messages ~10% of task cost (computation-bound).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Effect of processor connectivity on contention-aware scheduling.
+
+Schedules the same program on six topologies — from a chain (weakest
+connectivity) to a clique (strongest) — and reports schedule length, link
+utilization, and hop counts. Reproduces the paper's observation that both
+algorithms improve with connectivity, with BSA's edge largest on sparse
+networks, and extends it with topologies the paper didn't evaluate.
+
+Run:  python examples/topology_study.py
+"""
+
+from repro import (
+    HeterogeneousSystem,
+    binary_tree,
+    chain,
+    clique,
+    compute_metrics,
+    hypercube,
+    mesh2d,
+    random_graph,
+    random_topology,
+    ring,
+    schedule_bsa,
+    schedule_dls,
+    validate_schedule,
+)
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    graph = random_graph(80, granularity=1.0, seed=3)
+    print(f"program: {graph.n_tasks} tasks, {graph.n_edges} messages, granularity 1.0\n")
+
+    topologies = [
+        chain(16),
+        binary_tree(16),
+        ring(16),
+        mesh2d(4, 4),
+        random_topology(16, 2, 8, seed=3),
+        hypercube(16),
+        clique(16),
+    ]
+
+    rows = []
+    for topo in topologies:
+        system = HeterogeneousSystem.sample(graph, topo, het_range=(1, 50), seed=3)
+        bsa = schedule_bsa(system)
+        dls = schedule_dls(system)
+        validate_schedule(bsa)
+        validate_schedule(dls)
+        m = compute_metrics(bsa)
+        rows.append([
+            topo.name,
+            topo.n_links,
+            topo.diameter(),
+            bsa.schedule_length(),
+            dls.schedule_length(),
+            bsa.schedule_length() / dls.schedule_length(),
+            m.n_hops,
+        ])
+    print(format_table(
+        ["topology", "links", "diam", "BSA SL", "DLS SL", "BSA/DLS", "BSA hops"],
+        rows,
+        title="Connectivity sweep — 16 processors, het U[1,50]",
+        ndigits=3,
+    ))
+    print("\nExpect schedule lengths to fall as connectivity rises (more links")
+    print("= less contention, shorter routes), per the paper's Figure 3/4 trend.")
+
+
+if __name__ == "__main__":
+    main()

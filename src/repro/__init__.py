@@ -1,0 +1,146 @@
+"""repro — reproduction of Kwok & Ahmad (ICPP 1999).
+
+*Link Contention-Constrained Scheduling and Mapping of Tasks and Messages
+to a Network of Heterogeneous Processors.*
+
+The package implements the paper's BSA (Bubble Scheduling and Allocation)
+algorithm and everything it stands on: a task-graph substrate, an
+arbitrary-topology heterogeneous network model with links as first-class
+contended resources, the DLS baseline it is evaluated against, workload
+generators for both experimental suites, and a harness that regenerates
+every figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import (
+...     random_graph, HeterogeneousSystem, hypercube,
+...     schedule_bsa, schedule_dls, validate_schedule,
+... )
+>>> graph = random_graph(60, granularity=1.0, seed=1)
+>>> system = HeterogeneousSystem.sample(graph, hypercube(16), seed=1)
+>>> bsa = schedule_bsa(system)
+>>> dls = schedule_dls(system)
+>>> validate_schedule(bsa)
+"""
+
+from repro.errors import (
+    ReproError,
+    GraphError,
+    CycleError,
+    DisconnectedGraphError,
+    TopologyError,
+    RoutingError,
+    SchedulingError,
+    InvalidScheduleError,
+    ConfigurationError,
+    WorkloadError,
+)
+from repro.graph import (
+    TaskGraph,
+    GraphAnalysis,
+    b_levels,
+    t_levels,
+    critical_path,
+    cp_length,
+    granularity,
+    TaskClass,
+    classify_tasks,
+    validate_graph,
+)
+from repro.network import (
+    Topology,
+    ring,
+    chain,
+    hypercube,
+    clique,
+    fully_connected,
+    star,
+    mesh2d,
+    binary_tree,
+    random_topology,
+    paper_topologies,
+    HeterogeneousSystem,
+    LinkHeterogeneity,
+    RoutingTable,
+    ecube_path,
+)
+from repro.schedule import (
+    Schedule,
+    TaskSlot,
+    MessageHop,
+    Route,
+    settle,
+    validate_schedule,
+    schedule_violations,
+    ScheduleMetrics,
+    compute_metrics,
+    render_gantt,
+    critical_chain,
+    chain_breakdown,
+    schedule_to_json,
+    schedule_from_json,
+)
+from repro.core import (
+    BSAOptions,
+    BSAScheduler,
+    schedule_bsa,
+    select_pivot,
+    serialize,
+    serial_injection,
+    PivotSelection,
+)
+from repro.baselines import (
+    DLSOptions,
+    schedule_dls,
+    schedule_heft,
+    schedule_cpop,
+    schedule_etf,
+    schedule_serial,
+    schedule_round_robin,
+)
+from repro.workloads import (
+    gaussian_elimination,
+    lu_decomposition,
+    laplace_solver,
+    mean_value_analysis,
+    fft_butterfly,
+    fork_join,
+    random_layered_graph,
+    apply_granularity,
+    regular_graph,
+    random_graph,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # errors
+    "ReproError", "GraphError", "CycleError", "DisconnectedGraphError",
+    "TopologyError", "RoutingError", "SchedulingError",
+    "InvalidScheduleError", "ConfigurationError", "WorkloadError",
+    # graph
+    "TaskGraph", "GraphAnalysis", "b_levels", "t_levels", "critical_path",
+    "cp_length", "granularity", "TaskClass", "classify_tasks",
+    "validate_graph",
+    # network
+    "Topology", "ring", "chain", "hypercube", "clique", "fully_connected",
+    "star", "mesh2d", "binary_tree", "random_topology", "paper_topologies",
+    "HeterogeneousSystem", "LinkHeterogeneity", "RoutingTable", "ecube_path",
+    # schedule
+    "Schedule", "TaskSlot", "MessageHop", "Route", "settle",
+    "validate_schedule", "schedule_violations", "ScheduleMetrics",
+    "compute_metrics", "render_gantt", "critical_chain",
+    "chain_breakdown", "schedule_to_json", "schedule_from_json",
+    # core (BSA)
+    "BSAOptions", "BSAScheduler", "schedule_bsa", "select_pivot",
+    "serialize", "serial_injection", "PivotSelection",
+    # baselines
+    "DLSOptions", "schedule_dls", "schedule_heft", "schedule_cpop",
+    "schedule_etf", "schedule_serial", "schedule_round_robin",
+    # workloads
+    "gaussian_elimination", "lu_decomposition", "laplace_solver",
+    "mean_value_analysis", "fft_butterfly", "fork_join",
+    "random_layered_graph", "apply_granularity",
+    "regular_graph", "random_graph",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Comparator algorithms.
+
+* :func:`schedule_dls` — the paper's baseline (Sih & Lee 1993), a dynamic
+  list scheduler with routing-table message scheduling.
+* :func:`schedule_heft`, :func:`schedule_cpop` — contention-aware
+  adaptations of the classic heterogeneous list schedulers (extensions
+  beyond the paper, useful as additional reference points).
+* :func:`schedule_serial`, :func:`schedule_round_robin` — sanity bounds.
+"""
+
+from repro.baselines.common import ListScheduleBuilder
+from repro.baselines.dls import DLSOptions, schedule_dls
+from repro.baselines.heft import schedule_heft
+from repro.baselines.cpop import schedule_cpop
+from repro.baselines.etf import schedule_etf
+from repro.baselines.naive import schedule_serial, schedule_round_robin
+
+__all__ = [
+    "ListScheduleBuilder",
+    "DLSOptions",
+    "schedule_dls",
+    "schedule_heft",
+    "schedule_cpop",
+    "schedule_etf",
+    "schedule_serial",
+    "schedule_round_robin",
+]

@@ -1,0 +1,229 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Commands
+--------
+* ``schedule``   — schedule one generated workload and print results;
+* ``example``    — run the paper's worked example with a Gantt chart;
+* ``experiment`` — regenerate a figure (fig3..fig7, runtime);
+* ``info``       — library / scale / cache information.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _cmd_schedule(args) -> int:
+    from repro.experiments.config import Cell
+    from repro.experiments.runner import build_cell_system
+    from repro.baselines import schedule_cpop, schedule_dls, schedule_heft
+    from repro.core.bsa import BSAOptions, schedule_bsa
+    from repro.schedule.gantt import render_gantt
+    from repro.schedule.metrics import compute_metrics
+    from repro.schedule.validator import validate_schedule
+
+    suite = "regular" if args.workload != "random" else "random"
+    cell = Cell(
+        suite=suite, app=args.workload, size=args.size,
+        granularity=args.granularity, topology=args.topology,
+        algorithm=args.algorithm, n_procs=args.procs,
+        graph_seed=args.seed, system_seed=args.seed,
+    )
+    system = build_cell_system(cell)
+    schedulers = {
+        "bsa": lambda s: schedule_bsa(s, BSAOptions(seed=args.seed)),
+        "dls": schedule_dls,
+        "heft": schedule_heft,
+        "cpop": schedule_cpop,
+    }
+    sched = schedulers[args.algorithm](system)
+    validate_schedule(sched)
+    metrics = compute_metrics(sched)
+    print(f"workload : {system.graph.name} ({system.graph.n_tasks} tasks, "
+          f"{system.graph.n_edges} edges)")
+    print(f"platform : {system.topology.name}")
+    print(f"algorithm: {sched.algorithm}")
+    print(f"SL       : {metrics.schedule_length:.1f}")
+    print(f"comm     : {metrics.total_comm_cost:.1f} over {metrics.n_hops} hops")
+    print(f"speedup  : {metrics.speedup:.2f}  (efficiency {metrics.efficiency:.2%})")
+    if args.gantt:
+        print()
+        print(render_gantt(sched, height=args.gantt_height))
+    return 0
+
+
+def _cmd_example(args) -> int:
+    from repro.experiments.paper_example import run_paper_example
+
+    result = run_paper_example()
+    sel = result["selection"]
+    print("Paper worked example (Figure 1 graph, Table 1 costs, 4-proc ring)")
+    print(f"CP lengths per processor : {[round(x) for x in sel.cp_lengths]}")
+    print(f"first pivot              : P{sel.pivot + 1} (index {sel.pivot})")
+    print(f"serial order             : {', '.join(sel.serial_order)}")
+    print(f"serialized SL on pivot   : {result['serial_schedule_length']:.0f}")
+    print(f"BSA schedule length      : {result['metrics'].schedule_length:.0f}")
+    print(f"total communication      : {result['metrics'].total_comm_cost:.0f}")
+    print(f"migrations               : {result['stats'].n_migrations} "
+          f"(of which VIP-follow: {result['stats'].n_vip_migrations})")
+    print()
+    print(result["gantt"])
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from repro.experiments import figures as F
+    from repro.experiments.reporting import (
+        render_figure,
+        render_improvement_summary,
+        render_panels,
+    )
+    from repro.experiments.config import SCALES
+
+    scale = SCALES[args.scale] if args.scale else None
+    name = args.figure
+    if name in ("fig3", "fig4", "fig5", "fig6"):
+        fn = {"fig3": F.figure3, "fig4": F.figure4,
+              "fig5": F.figure5, "fig6": F.figure6}[name]
+        panels = fn(scale=scale)
+        print(render_panels(panels))
+        print()
+        print(render_improvement_summary(panels))
+    elif name == "fig7":
+        print(render_figure(F.figure7(scale=scale)))
+    elif name == "runtime":
+        print(render_figure(F.runtime_study(scale=scale), ndigits=3))
+    else:
+        print(f"unknown figure {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_ablation(args) -> int:
+    from repro.experiments.config import Cell
+    from repro.experiments.runner import _SCHEDULERS, build_cell_system
+    from repro.schedule.validator import validate_schedule
+    from repro.util.tables import format_table
+
+    cell = Cell(
+        suite="random", app="random", size=args.size,
+        granularity=args.granularity, topology=args.topology,
+        algorithm="bsa", graph_seed=args.seed, system_seed=args.seed,
+    )
+    system = build_cell_system(cell)
+    rows = []
+    base_sl = None
+    for name, scheduler in _SCHEDULERS.items():
+        sched = scheduler(system)
+        validate_schedule(sched)
+        sl = sched.schedule_length()
+        if name == "bsa":
+            base_sl = sl
+        rows.append([name, sl, None])
+    rows = [[name, sl, sl / base_sl] for name, sl, _ in rows]
+    print(format_table(
+        ["variant", "SL", "vs bsa"],
+        rows,
+        title=(f"ablation — random n={args.size}, {args.topology}16, "
+               f"g={args.granularity:g}, seed={args.seed}"),
+        ndigits=3,
+    ))
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.experiments.config import SCALES
+    from repro.experiments.report import generate_report
+
+    scale = SCALES[args.scale] if args.scale else None
+    text = generate_report(scale=scale, include_example=not args.no_example)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_info(args) -> int:
+    import os
+
+    from repro.experiments.cache import default_cache
+    from repro.experiments.config import current_scale
+
+    scale = current_scale()
+    cache = default_cache()
+    print(f"repro {__version__} — BSA/DLS reproduction (Kwok & Ahmad, ICPP 1999)")
+    print(f"scale     : {scale.name} (REPRO_SCALE={os.environ.get('REPRO_SCALE', '<unset>')})")
+    print(f"  sizes        : {list(scale.sizes)}")
+    print(f"  granularities: {list(scale.granularities)}")
+    print(f"  topologies   : {list(scale.topologies)}")
+    print(f"  algorithms   : {list(scale.algorithms)}")
+    print(f"cache     : {cache.path} ({len(cache)} cells)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BSA link-contention scheduling reproduction (Kwok & Ahmad, ICPP 1999)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schedule", help="schedule one workload")
+    p.add_argument("--algorithm", "-a", default="bsa",
+                   choices=["bsa", "dls", "heft", "cpop"])
+    p.add_argument("--workload", "-w", default="random",
+                   choices=["random", "gauss", "lu", "laplace", "mva"])
+    p.add_argument("--size", "-n", type=int, default=100)
+    p.add_argument("--granularity", "-g", type=float, default=1.0)
+    p.add_argument("--topology", "-t", default="hypercube",
+                   choices=["ring", "hypercube", "clique", "random"])
+    p.add_argument("--procs", "-p", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
+    p.add_argument("--gantt-height", type=int, default=40)
+    p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser("example", help="run the paper's worked example")
+    p.set_defaults(func=_cmd_example)
+
+    p = sub.add_parser("experiment", help="regenerate a figure")
+    p.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "runtime"])
+    p.add_argument("--scale", choices=["smoke", "default", "full"], default=None)
+    p.set_defaults(func=_cmd_experiment)
+
+    p = sub.add_parser("ablation", help="compare BSA option variants on one workload")
+    p.add_argument("--size", "-n", type=int, default=60)
+    p.add_argument("--granularity", "-g", type=float, default=1.0)
+    p.add_argument("--topology", "-t", default="hypercube",
+                   choices=["ring", "hypercube", "clique", "random"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_ablation)
+
+    p = sub.add_parser("report", help="regenerate the full reproduction report")
+    p.add_argument("--scale", choices=["smoke", "default", "full"], default=None)
+    p.add_argument("--out", "-o", default=None,
+                   help="write markdown to this file (default: stdout)")
+    p.add_argument("--no-example", action="store_true",
+                   help="skip the worked example section")
+    p.set_defaults(func=_cmd_report)
+
+    p = sub.add_parser("info", help="library and scale information")
+    p.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

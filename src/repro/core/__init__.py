@@ -1,0 +1,22 @@
+"""The paper's contribution: BSA — Bubble Scheduling and Allocation."""
+
+from repro.core.serialization import (
+    PivotSelection,
+    select_pivot,
+    serialize,
+    serial_injection,
+)
+from repro.core.routes import new_incoming_path, new_outgoing_path
+from repro.core.bsa import BSAOptions, BSAScheduler, schedule_bsa
+
+__all__ = [
+    "PivotSelection",
+    "select_pivot",
+    "serialize",
+    "serial_injection",
+    "new_incoming_path",
+    "new_outgoing_path",
+    "BSAOptions",
+    "BSAScheduler",
+    "schedule_bsa",
+]

@@ -1,0 +1,248 @@
+"""The BSA main loop (paper §2.3, "BSA ALGORITHM").
+
+1. Pick the first pivot (shortest actual-cost CP) and serialize the whole
+   program onto it.
+2. Visit every processor once, breadth-first from the first pivot.
+3. While a processor is pivot, consider each task on it (in schedule
+   order, which the serialization made topological): a task is examined
+   when it starts later than its data-ready time or its VIP lives
+   elsewhere; it migrates to the neighbor minimizing its finish time, or —
+   when no neighbor strictly improves FT — to a neighbor that matches the
+   current FT *and* hosts its VIP (so successors may improve later).
+
+Options expose the paper's ambiguities and our ablations:
+
+* ``migration_trigger``: ``"st_gt_drt"`` (journal formulation, default) or
+  ``"always"`` (the ICPP text's literal ``FT > DRT``, which is vacuously
+  true for positive-cost tasks — every task is examined).
+* ``vip_follow``: disable the equal-FT VIP-following heuristic.
+* ``insertion``: earliest-gap insertion vs pure append (ablation).
+* ``truncate_routes``: disable route truncation (ablation; routes then
+  always extend hop-by-hop, possibly doubling back).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, CycleError
+from repro.graph.model import TaskId
+from repro.graph.validation import validate_graph
+from repro.network.system import HeterogeneousSystem
+from repro.network.topology import Proc
+from repro.core.migration import (
+    MigrationPlan,
+    commit_migration,
+    current_drt_vip,
+    evaluate_migration,
+)
+from repro.core.serialization import PivotSelection, serial_injection
+from repro.schedule.schedule import Schedule
+from repro.util.rng import RngStream
+
+_EPS = 1e-9
+
+_TRIGGERS = ("st_gt_drt", "always")
+
+
+@dataclass(frozen=True)
+class BSAOptions:
+    """Tunable knobs of the BSA scheduler (defaults follow the paper)."""
+
+    migration_trigger: str = "always"
+    vip_follow: bool = True
+    insertion: bool = True
+    truncate_routes: bool = True
+    #: "shortest" (default) rebuilds message routes over on-demand BFS
+    #: shortest paths on every migration; "incremental" is the ICPP text's
+    #: literal hop-by-hop extension (ablation; routes wander and inflate
+    #: communication — see EXPERIMENTS.md).
+    route_mode: str = "shortest"
+    #: "global" (default) lets a task migrate to *any* processor (messages
+    #: still pay full multi-hop contention along shortest routes);
+    #: "neighbors" is the ICPP text's literal one-hop scope (ablation; on
+    #: sparse topologies the migration frontier freezes a few hops from
+    #: the first pivot and most processors stay empty — see EXPERIMENTS.md).
+    migration_scope: str = "global"
+    #: how many breadth-first sweeps over all processors to run. The ICPP
+    #: pseudocode describes a single sweep; ``0`` means "sweep until a full
+    #: pass makes no migration" (capped at ``n_procs`` sweeps), which the
+    #: prose's "this incremental scheduling by migration process is
+    #: repeated" supports and which is required to reproduce the paper's
+    #: relative results (see DESIGN.md interpretation notes).
+    n_sweeps: int = 0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.migration_trigger not in _TRIGGERS:
+            raise ConfigurationError(
+                f"migration_trigger must be one of {_TRIGGERS}, "
+                f"got {self.migration_trigger!r}"
+            )
+        if self.n_sweeps < 0:
+            raise ConfigurationError(f"n_sweeps must be >= 0, got {self.n_sweeps}")
+        from repro.core.migration import ROUTE_MODES
+
+        if self.route_mode not in ROUTE_MODES:
+            raise ConfigurationError(
+                f"route_mode must be one of {ROUTE_MODES}, got {self.route_mode!r}"
+            )
+        if self.migration_scope not in ("global", "neighbors"):
+            raise ConfigurationError(
+                f"migration_scope must be 'global' or 'neighbors', "
+                f"got {self.migration_scope!r}"
+            )
+        if self.migration_scope == "global" and self.route_mode == "incremental":
+            raise ConfigurationError(
+                "migration_scope='global' requires route_mode='shortest' "
+                "(incremental routes are only defined for one-hop moves)"
+            )
+
+
+@dataclass
+class BSAStats:
+    """Run statistics (exposed for tests, ablations and reports)."""
+
+    pivot_sequence: List[Proc] = field(default_factory=list)
+    first_pivot: Proc = -1
+    n_examined: int = 0
+    n_evaluated: int = 0
+    n_migrations: int = 0
+    n_vip_migrations: int = 0
+    n_rejected_migrations: int = 0
+    n_sweeps_run: int = 0
+    serial_length: float = 0.0
+
+
+class BSAScheduler:
+    """Bubble Scheduling and Allocation over one bound system."""
+
+    def __init__(self, system: HeterogeneousSystem, options: Optional[BSAOptions] = None):
+        self.system = system
+        self.options = options or BSAOptions()
+        self.stats = BSAStats()
+        self.selection: Optional[PivotSelection] = None
+
+    def run(self) -> Schedule:
+        """Produce a complete, settled schedule."""
+        validate_graph(self.system.graph)
+        rng = RngStream(self.options.seed).fork("bsa", self.system.graph.name)
+
+        self.selection, sched = serial_injection(self.system, rng)
+        sched.algorithm = "BSA"
+        self.stats.first_pivot = self.selection.pivot
+        self.stats.serial_length = sched.schedule_length()
+
+        pivots = self.system.topology.bfs_order(self.selection.pivot)
+        self.stats.pivot_sequence = pivots
+        max_sweeps = self.options.n_sweeps or self.system.topology.n_procs
+        until_stable = self.options.n_sweeps == 0
+
+        # Per-task FT greed does not guarantee a shorter *makespan* (a
+        # producer may migrate for its own finish time and strand a
+        # consumer behind an expensive message), so keep the best schedule
+        # seen at sweep boundaries — including the initial serialization.
+        best = sched.copy()
+        best_sl = sched.schedule_length()
+        for sweep in range(max_sweeps):
+            migrations_before = self.stats.n_migrations
+            for pivot in pivots:
+                self._run_phase(sched, pivot)
+            self.stats.n_sweeps_run = sweep + 1
+            sl = sched.schedule_length()
+            if sl < best_sl - _EPS:
+                best = sched.copy()
+                best_sl = sl
+            if until_stable and self.stats.n_migrations == migrations_before:
+                break
+        return best if best_sl < sched.schedule_length() - _EPS else sched
+
+    # ------------------------------------------------------------------
+    def _run_phase(self, sched: Schedule, pivot: Proc) -> None:
+        if self.options.migration_scope == "global":
+            neighbors = [p for p in self.system.topology.processors if p != pivot]
+        else:
+            neighbors = self.system.topology.neighbors(pivot)
+        if not neighbors:
+            return
+        # snapshot: schedule order on the pivot at phase start (topological)
+        for task in list(sched.proc_order[pivot]):
+            if sched.proc_of(task) != pivot:
+                continue  # defensive: cannot happen within a phase
+            if not self._should_examine(sched, task, pivot):
+                continue
+            self.stats.n_examined += 1
+            self._try_migrate(sched, task, pivot, neighbors)
+
+    def _should_examine(self, sched: Schedule, task: TaskId, pivot: Proc) -> bool:
+        if self.options.migration_trigger == "always":
+            return True
+        drt, vip = current_drt_vip(sched, task)
+        slot = sched.slots[task]
+        if slot.start > drt + _EPS:
+            return True
+        return vip is not None and sched.proc_of(vip) != pivot
+
+    def _try_migrate(
+        self,
+        sched: Schedule,
+        task: TaskId,
+        pivot: Proc,
+        neighbors: List[Proc],
+    ) -> None:
+        opts = self.options
+        current_ft = sched.slots[task].finish
+        plans: List[MigrationPlan] = []
+        for nb in neighbors:
+            plans.append(
+                evaluate_migration(
+                    sched, task, nb,
+                    insertion=opts.insertion, truncate=opts.truncate_routes,
+                    route_mode=opts.route_mode,
+                )
+            )
+            self.stats.n_evaluated += 1
+
+        best = min(plans, key=lambda p: (p.ft, p.dst))
+        if best.ft < current_ft - _EPS:
+            self._commit_transactional(sched, best)
+            return
+
+        if not opts.vip_follow:
+            return
+        _, vip = current_drt_vip(sched, task)
+        if vip is None or sched.proc_of(vip) == pivot:
+            return
+        vip_proc = sched.proc_of(vip)
+        for plan in plans:
+            if plan.dst == vip_proc and plan.ft <= current_ft + _EPS:
+                if self._commit_transactional(sched, plan):
+                    self.stats.n_vip_migrations += 1
+                return
+
+    def _commit_transactional(self, sched: Schedule, plan: MigrationPlan) -> bool:
+        """Commit a migration; revert and reject it if the resulting order
+        constraints are contradictory (possible after multi-phase reroutes
+        leave stale slot positions — rare, but must never corrupt state)."""
+        snapshot = sched.copy()
+        try:
+            commit_migration(
+                sched, plan,
+                insertion=self.options.insertion,
+                truncate=self.options.truncate_routes,
+            )
+        except CycleError:
+            sched.restore_from(snapshot)
+            self.stats.n_rejected_migrations += 1
+            return False
+        self.stats.n_migrations += 1
+        return True
+
+
+def schedule_bsa(
+    system: HeterogeneousSystem,
+    options: Optional[BSAOptions] = None,
+) -> Schedule:
+    """Convenience wrapper: run BSA and return the schedule."""
+    return BSAScheduler(system, options).run()

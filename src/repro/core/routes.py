@@ -1,0 +1,89 @@
+"""Incremental route maintenance for task migration (paper §2.3).
+
+When a task migrates from pivot ``A`` to neighbor ``B``:
+
+* each **incoming** message must now reach ``B``: its existing path
+  (producer's processor ``... -> A``) is extended with the hop ``A -> B`` —
+  unless the path already touches ``B``, in which case it is *truncated* at
+  the last visit of ``B`` (the paper's "optimized routes": never double
+  back), or the producer itself sits on ``B`` and the message becomes
+  local;
+* each **outgoing** message must now depart from ``B``: its path
+  (``A -> ... -> consumer``) is prepended with ``B -> A`` — unless the path
+  already touches ``B`` (truncate the front) or the consumer sits on ``B``
+  (local).
+
+These functions are pure path algebra on processor sequences; the
+scheduler layers timing on top.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.errors import RoutingError
+from repro.network.topology import Proc
+
+
+def new_incoming_path(
+    old_path: Optional[Sequence[Proc]],
+    producer_proc: Proc,
+    old_proc: Proc,
+    new_proc: Proc,
+    truncate: bool = True,
+) -> Optional[List[Proc]]:
+    """New processor path for an incoming message after the consumer moves
+    ``old_proc -> new_proc``.
+
+    ``old_path`` is the current path (``None``/empty when the message is
+    local, i.e. the producer is on ``old_proc``). Returns ``None`` when the
+    message becomes local at ``new_proc``.
+    """
+    path = list(old_path) if old_path else [old_proc]
+    if path[-1] != old_proc:
+        raise RoutingError(
+            f"incoming path {path} does not end at the consumer's processor {old_proc}"
+        )
+    if path[0] != producer_proc:
+        raise RoutingError(
+            f"incoming path {path} does not start at the producer's processor {producer_proc}"
+        )
+    if producer_proc == new_proc:
+        return None
+    if truncate and new_proc in path:
+        cut = _rindex(path, new_proc)
+        return path[: cut + 1]
+    return path + [new_proc]
+
+
+def new_outgoing_path(
+    old_path: Optional[Sequence[Proc]],
+    consumer_proc: Proc,
+    old_proc: Proc,
+    new_proc: Proc,
+    truncate: bool = True,
+) -> Optional[List[Proc]]:
+    """New processor path for an outgoing message after the producer moves
+    ``old_proc -> new_proc`` (mirror image of :func:`new_incoming_path`)."""
+    path = list(old_path) if old_path else [old_proc]
+    if path[0] != old_proc:
+        raise RoutingError(
+            f"outgoing path {path} does not start at the producer's processor {old_proc}"
+        )
+    if path[-1] != consumer_proc:
+        raise RoutingError(
+            f"outgoing path {path} does not end at the consumer's processor {consumer_proc}"
+        )
+    if consumer_proc == new_proc:
+        return None
+    if truncate and new_proc in path:
+        cut = path.index(new_proc)
+        return path[cut:]
+    return [new_proc] + path
+
+
+def _rindex(seq: Sequence[Proc], value: Proc) -> int:
+    for i in range(len(seq) - 1, -1, -1):
+        if seq[i] == value:
+            return i
+    raise ValueError(f"{value} not in path")

@@ -1,0 +1,141 @@
+"""BSA phase 1: pivot selection and CP-driven serialization (paper §2.2).
+
+``select_pivot`` recomputes the critical path under each processor's
+*actual* execution costs (communication costs stay nominal — no links are
+assigned yet) and picks the processor with the shortest CP length.
+
+``serialize`` produces the paper's serial injection order:
+
+* CP tasks occupy the earliest possible positions;
+* each CP task is preceded by its not-yet-listed ancestors (IB tasks),
+  included recursively, larger b-level first (ties: smaller t-level, then
+  later graph insertion — the last rule reproduces the paper's published
+  order for its worked example, which requires picking T8 over T6 at a
+  full b-level/t-level tie);
+* OB tasks are appended last in descending b-level.
+
+The resulting order is always a topological order (asserted in tests and
+by a hypothesis property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SchedulingError
+from repro.graph.analysis import GraphAnalysis, b_levels, cp_length, t_levels
+from repro.graph.model import TaskGraph, TaskId
+from repro.graph.partition import TaskClass, classify_tasks
+from repro.network.system import HeterogeneousSystem
+from repro.network.topology import Proc
+from repro.util.rng import RngStream
+
+
+@dataclass(frozen=True)
+class PivotSelection:
+    """Outcome of pivot selection: the pivot and per-processor CP lengths."""
+
+    pivot: Proc
+    cp_lengths: Tuple[float, ...]
+    cp_tasks: Tuple[TaskId, ...]       # CP under the pivot's actual costs
+    serial_order: Tuple[TaskId, ...]
+
+
+def select_pivot(
+    system: HeterogeneousSystem,
+    rng: Optional[RngStream] = None,
+) -> PivotSelection:
+    """Choose the first pivot processor and the serial injection order."""
+    graph = system.graph
+    lengths = []
+    for p in system.topology.processors:
+        lengths.append(cp_length(graph, system.exec_cost_fn(p)))
+    pivot = min(range(len(lengths)), key=lambda p: (lengths[p], p))
+    analysis = GraphAnalysis(graph, system.exec_cost_fn(pivot), rng)
+    order = serialize(graph, system.exec_cost_fn(pivot), rng=rng, analysis=analysis)
+    return PivotSelection(
+        pivot=pivot,
+        cp_lengths=tuple(lengths),
+        cp_tasks=tuple(analysis.cp),
+        serial_order=tuple(order),
+    )
+
+
+def serialize(
+    graph: TaskGraph,
+    exec_cost=None,
+    rng: Optional[RngStream] = None,
+    analysis: Optional[GraphAnalysis] = None,
+) -> List[TaskId]:
+    """The paper's SERIALIZATION procedure; returns the task order."""
+    if graph.n_tasks == 0:
+        return []
+    if analysis is None:
+        analysis = GraphAnalysis(graph, exec_cost, rng)
+    bl, tl = analysis.b_level, analysis.t_level
+    index = {t: k for k, t in enumerate(graph.tasks())}
+
+    def pred_priority(t: TaskId):
+        """Sort key: larger b-level, then smaller t-level, then later id."""
+        return (-bl[t], tl[t], -index[t])
+
+    order: List[TaskId] = []
+    listed: set = set()
+
+    def append(t: TaskId) -> None:
+        order.append(t)
+        listed.add(t)
+
+    def include_with_ancestors(t: TaskId) -> None:
+        """Append ``t`` after recursively appending its missing ancestors."""
+        stack = [t]
+        while stack:
+            cur = stack[-1]
+            missing = [p for p in graph.predecessors(cur) if p not in listed]
+            if not missing:
+                stack.pop()
+                if cur not in listed:
+                    append(cur)
+            else:
+                missing.sort(key=pred_priority)
+                stack.append(missing[0])
+
+    for cp_task in analysis.cp:
+        include_with_ancestors(cp_task)
+
+    # OB tasks: everything not an ancestor of (or on) the CP, by b-level desc
+    remaining = [t for t in graph.tasks() if t not in listed]
+    remaining.sort(key=lambda t: (-bl[t], tl[t], index[t]))
+    for t in remaining:
+        append(t)
+
+    if len(order) != graph.n_tasks:
+        raise SchedulingError(
+            f"serialization produced {len(order)} of {graph.n_tasks} tasks"
+        )
+    return order
+
+
+def serial_injection(
+    system: HeterogeneousSystem,
+    rng: Optional[RngStream] = None,
+):
+    """Pivot selection + the fully serialized schedule on that pivot.
+
+    Returns ``(selection, schedule)`` where the schedule has every task on
+    the pivot in serial order and every message local. This is BSA's
+    starting state and also a useful worst-case reference point.
+    """
+    from repro.schedule.schedule import Schedule
+    from repro.schedule.settle import settle
+
+    selection = select_pivot(system, rng)
+    sched = Schedule(system, algorithm="serial-injection")
+    for task in selection.serial_order:
+        sched.place_task(task, selection.pivot, start=0.0,
+                         position=len(sched.proc_order[selection.pivot]))
+    for edge in system.graph.edges():
+        sched.mark_local(edge)
+    settle(sched)
+    return selection, sched

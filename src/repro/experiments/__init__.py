@@ -1,0 +1,57 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.experiments.config import (
+    Cell,
+    Scale,
+    SCALES,
+    current_scale,
+    ALGORITHM_NAMES,
+)
+from repro.experiments.runner import CellResult, run_cell, build_cell_system
+from repro.experiments.cache import ResultCache
+from repro.experiments.aggregate import mean_by
+from repro.experiments.figures import (
+    FigureSeries,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    runtime_study,
+)
+from repro.experiments.reporting import (
+    render_figure,
+    render_improvement_summary,
+)
+from repro.experiments.paper_example import (
+    build_figure1_graph,
+    build_paper_system,
+    run_paper_example,
+    TABLE1_EXEC_COSTS,
+)
+
+__all__ = [
+    "Cell",
+    "Scale",
+    "SCALES",
+    "current_scale",
+    "ALGORITHM_NAMES",
+    "CellResult",
+    "run_cell",
+    "build_cell_system",
+    "ResultCache",
+    "mean_by",
+    "FigureSeries",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "runtime_study",
+    "render_figure",
+    "render_improvement_summary",
+    "build_figure1_graph",
+    "build_paper_system",
+    "run_paper_example",
+    "TABLE1_EXEC_COSTS",
+]

@@ -1,0 +1,36 @@
+"""Aggregation helpers for figure reproduction.
+
+The paper averages schedule lengths across applications and granularities
+(Figures 3/4) or across graph sizes (Figures 5/6); :func:`mean_by` is the
+one grouping primitive all of those need.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, Iterable, List, Tuple
+
+
+def mean_by(
+    items: Iterable,
+    key: Callable,
+    value: Callable[[object], float],
+) -> Dict[object, float]:
+    """Group ``items`` by ``key`` and average ``value`` within groups."""
+    sums: Dict[object, float] = defaultdict(float)
+    counts: Dict[object, int] = defaultdict(int)
+    for item in items:
+        k = key(item)
+        sums[k] += value(item)
+        counts[k] += 1
+    return {k: sums[k] / counts[k] for k in sums}
+
+
+def geometric_mean(values: List[float]) -> float:
+    """Geometric mean (used for ratio summaries)."""
+    if not values:
+        return float("nan")
+    prod = 1.0
+    for v in values:
+        prod *= v
+    return prod ** (1.0 / len(values))

@@ -1,0 +1,83 @@
+"""On-disk memoization of experiment cells.
+
+Figures 3/5 (and 4/6) re-aggregate the *same* runs by different axes, and
+re-running benches shouldn't redo minutes of scheduling. Results are tiny
+(a few floats per cell) so a single JSON file keyed by
+:meth:`repro.experiments.config.Cell.key` is plenty. The cache is versioned:
+changing the library's algorithmic behavior should bump
+``CACHE_VERSION`` so stale numbers are never mixed in.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, Optional
+
+CACHE_VERSION = 3
+
+
+class ResultCache:
+    """A dict-like JSON cache for cell results."""
+
+    def __init__(self, path: Optional[str] = None):
+        if path is None:
+            root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
+            path = os.path.join(root, "results.json")
+        self.path = path
+        self._data: Dict[str, dict] = {}
+        self._loaded = False
+
+    def _load(self) -> None:
+        if self._loaded:
+            return
+        self._loaded = True
+        try:
+            with open(self.path) as fh:
+                blob = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if blob.get("version") == CACHE_VERSION:
+            self._data = blob.get("results", {})
+
+    def get(self, key: str) -> Optional[dict]:
+        self._load()
+        return self._data.get(key)
+
+    def put(self, key: str, value: dict, flush: bool = True) -> None:
+        self._load()
+        self._data[key] = value
+        if flush:
+            self.flush()
+
+    def flush(self) -> None:
+        directory = os.path.dirname(self.path) or "."
+        os.makedirs(directory, exist_ok=True)
+        blob = {"version": CACHE_VERSION, "results": self._data}
+        # atomic-ish write: full tmp file then rename
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(blob, fh)
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        self._load()
+        return len(self._data)
+
+
+#: process-wide default cache instance
+_default_cache: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    global _default_cache
+    if _default_cache is None:
+        _default_cache = ResultCache()
+    return _default_cache

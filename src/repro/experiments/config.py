@@ -1,0 +1,117 @@
+"""Experiment grid definitions and scale control.
+
+The paper's full grid (sizes 50..500 step 50, granularities {0.1, 1, 10},
+four 16-processor topologies, heterogeneity U[1, 50]) is expensive in pure
+Python, so the harness supports three scales selected by the
+``REPRO_SCALE`` environment variable:
+
+* ``smoke``   — tiny: CI-sized sanity sweep (minutes of margin everywhere);
+* ``default`` — trimmed sizes (<= 250) but the full factor structure;
+* ``full``    — the paper's exact grid.
+
+The *shape* conclusions (who wins, how gaps move with size, granularity,
+connectivity, heterogeneity) are visible at every scale.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+#: algorithms compared in figure reproductions (paper compares BSA vs DLS;
+#: HEFT/CPOP are available extensions — enable via Scale.algorithms).
+ALGORITHM_NAMES = ("bsa", "dls", "heft", "cpop")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One experiment cell: a (graph, platform, algorithm) combination."""
+
+    suite: str                  # "regular" | "random"
+    app: str                    # gauss/lu/laplace/mva or "random"
+    size: int                   # approximate task count
+    granularity: float
+    topology: str               # ring | hypercube | clique | random
+    algorithm: str              # bsa | dls | heft | cpop
+    het_lo: float = 1.0
+    het_hi: float = 50.0
+    link_het: bool = False      # sample h' from the same range as h
+    n_procs: int = 16
+    graph_seed: int = 0
+    system_seed: int = 0
+
+    def key(self) -> str:
+        """Stable cache key."""
+        return (
+            f"{self.suite}/{self.app}/n{self.size}/g{self.granularity:g}/"
+            f"{self.topology}{self.n_procs}/{self.algorithm}/"
+            f"het{self.het_lo:g}-{self.het_hi:g}/"
+            f"lh{int(self.link_het)}/gs{self.graph_seed}/ss{self.system_seed}"
+        )
+
+
+@dataclass(frozen=True)
+class Scale:
+    """A resolution of the experiment grid."""
+
+    name: str
+    sizes: Tuple[int, ...]
+    granularities: Tuple[float, ...]
+    topologies: Tuple[str, ...]
+    regular_apps: Tuple[str, ...]
+    n_random_seeds: int
+    het_sweep_sizes: Tuple[int, ...]        # Figure 7 graph sizes
+    het_sweep_n_graphs: int                 # Figure 7 graphs per range
+    het_ranges: Tuple[Tuple[float, float], ...]
+    algorithms: Tuple[str, ...] = ("dls", "bsa")
+
+
+SCALES: Dict[str, Scale] = {
+    "smoke": Scale(
+        name="smoke",
+        sizes=(50, 100),
+        granularities=(0.1, 1.0, 10.0),
+        topologies=("ring", "hypercube", "clique", "random"),
+        regular_apps=("gauss", "laplace"),
+        n_random_seeds=1,
+        het_sweep_sizes=(100,),
+        het_sweep_n_graphs=2,
+        het_ranges=((1, 10), (1, 50), (1, 100), (1, 200)),
+    ),
+    "default": Scale(
+        name="default",
+        sizes=(50, 100, 150, 200, 250),
+        granularities=(0.1, 1.0, 10.0),
+        topologies=("ring", "hypercube", "clique", "random"),
+        regular_apps=("gauss", "lu", "laplace", "mva"),
+        n_random_seeds=2,
+        het_sweep_sizes=(200,),
+        het_sweep_n_graphs=4,
+        het_ranges=((1, 10), (1, 50), (1, 100), (1, 200)),
+    ),
+    "full": Scale(
+        name="full",
+        sizes=tuple(range(50, 501, 50)),
+        granularities=(0.1, 1.0, 10.0),
+        topologies=("ring", "hypercube", "clique", "random"),
+        regular_apps=("gauss", "lu", "laplace", "mva"),
+        n_random_seeds=3,
+        het_sweep_sizes=(500,),
+        het_sweep_n_graphs=10,
+        het_ranges=((1, 10), (1, 50), (1, 100), (1, 200)),
+    ),
+}
+
+
+def current_scale(default: str = "default") -> Scale:
+    """Scale selected by ``REPRO_SCALE`` (smoke / default / full)."""
+    name = os.environ.get("REPRO_SCALE", default).strip().lower()
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"REPRO_SCALE={name!r} is not one of {sorted(SCALES)}"
+        ) from None

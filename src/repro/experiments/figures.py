@@ -1,0 +1,180 @@
+"""Reproduction of every figure in the paper's evaluation (§3).
+
+Each ``figureN`` function runs (or fetches from cache) the cells that
+figure needs and returns a :class:`FigureSeries` per topology — the same
+series the paper plots:
+
+* Figure 3 — regular graphs, average SL vs graph size (averaged over apps
+  and granularities), per topology, DLS vs BSA.
+* Figure 4 — same for random graphs.
+* Figure 5 — regular graphs, average SL vs granularity (averaged over
+  sizes), per topology.
+* Figure 6 — same for random graphs.
+* Figure 7 — random 500-task graphs on the hypercube, average SL vs
+  heterogeneity range.
+* ``runtime_study`` — scheduler wall-clock vs graph size (the paper notes
+  both algorithms' running times "were about the same").
+
+Figures 3 and 5 share cells (so do 4 and 6); the on-disk cache makes the
+second aggregation free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import Cell, Scale, current_scale
+from repro.experiments.runner import CellResult, run_cell
+
+
+@dataclass
+class FigureSeries:
+    """One panel: x values plus one named series per algorithm."""
+
+    title: str
+    x_label: str
+    xs: List
+    series: Dict[str, List[float]] = field(default_factory=dict)
+
+    def improvement(self, base: str = "dls", ours: str = "bsa") -> List[float]:
+        """Per-point improvement of ``ours`` over ``base`` (1 - ours/base)."""
+        return [
+            1.0 - o / b if b else float("nan")
+            for o, b in zip(self.series[ours], self.series[base])
+        ]
+
+
+def _suite_cells(
+    suite: str,
+    scale: Scale,
+    topology: str,
+    algorithm: str,
+) -> List[Cell]:
+    cells: List[Cell] = []
+    if suite == "regular":
+        for app in scale.regular_apps:
+            for size in scale.sizes:
+                for gran in scale.granularities:
+                    cells.append(
+                        Cell(
+                            suite="regular", app=app, size=size,
+                            granularity=gran, topology=topology,
+                            algorithm=algorithm,
+                        )
+                    )
+    else:
+        for seed in range(scale.n_random_seeds):
+            for size in scale.sizes:
+                for gran in scale.granularities:
+                    cells.append(
+                        Cell(
+                            suite="random", app="random", size=size,
+                            granularity=gran, topology=topology,
+                            algorithm=algorithm, graph_seed=seed,
+                        )
+                    )
+    return cells
+
+
+def _size_figure(
+    suite: str,
+    title: str,
+    scale: Optional[Scale],
+    cache: Optional[ResultCache],
+    by: str,
+) -> Dict[str, FigureSeries]:
+    """Shared engine for figures 3-6 (``by`` is 'size' or 'granularity')."""
+    scale = scale or current_scale()
+    panels: Dict[str, FigureSeries] = {}
+    for topology in scale.topologies:
+        xs: Sequence = scale.sizes if by == "size" else scale.granularities
+        fig = FigureSeries(
+            title=f"{title} — 16-processor {topology}",
+            x_label="graph size" if by == "size" else "granularity",
+            xs=list(xs),
+        )
+        for algorithm in scale.algorithms:
+            cells = _suite_cells(suite, scale, topology, algorithm)
+            groups: Dict[object, List[float]] = {x: [] for x in xs}
+            for cell in cells:
+                result = run_cell(cell, cache=cache)
+                x = cell.size if by == "size" else cell.granularity
+                groups[x].append(result.schedule_length)
+            fig.series[algorithm] = [
+                sum(groups[x]) / len(groups[x]) if groups[x] else float("nan")
+                for x in xs
+            ]
+        panels[topology] = fig
+    return panels
+
+
+def figure3(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+    """Average SL vs graph size, regular graphs, four topologies."""
+    return _size_figure("regular", "Fig.3 regular graphs: SL vs size", scale, cache, "size")
+
+
+def figure4(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+    """Average SL vs graph size, random graphs, four topologies."""
+    return _size_figure("random", "Fig.4 random graphs: SL vs size", scale, cache, "size")
+
+
+def figure5(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+    """Average SL vs granularity, regular graphs, four topologies."""
+    return _size_figure("regular", "Fig.5 regular graphs: SL vs granularity", scale, cache, "granularity")
+
+
+def figure6(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+    """Average SL vs granularity, random graphs, four topologies."""
+    return _size_figure("random", "Fig.6 random graphs: SL vs granularity", scale, cache, "granularity")
+
+
+def figure7(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None) -> FigureSeries:
+    """Average SL vs heterogeneity range (random graphs, hypercube)."""
+    scale = scale or current_scale()
+    fig = FigureSeries(
+        title="Fig.7 effect of heterogeneity — 16-processor hypercube",
+        x_label="heterogeneity range hi",
+        xs=[hi for (_, hi) in scale.het_ranges],
+    )
+    for algorithm in scale.algorithms:
+        ys: List[float] = []
+        for (lo, hi) in scale.het_ranges:
+            values: List[float] = []
+            for seed in range(scale.het_sweep_n_graphs):
+                for size in scale.het_sweep_sizes:
+                    cell = Cell(
+                        suite="random", app="random", size=size,
+                        granularity=1.0, topology="hypercube",
+                        algorithm=algorithm, het_lo=lo, het_hi=hi,
+                        graph_seed=seed,
+                    )
+                    values.append(run_cell(cell, cache=cache).schedule_length)
+            ys.append(sum(values) / len(values))
+        fig.series[algorithm] = ys
+    return fig
+
+
+def runtime_study(
+    scale: Optional[Scale] = None,
+    cache: Optional[ResultCache] = None,
+    topology: str = "hypercube",
+) -> FigureSeries:
+    """Scheduler wall-clock vs graph size (paper's running-time remark)."""
+    scale = scale or current_scale()
+    fig = FigureSeries(
+        title=f"Scheduler runtime vs size — {topology} (random graphs, g=1)",
+        x_label="graph size",
+        xs=list(scale.sizes),
+    )
+    for algorithm in scale.algorithms:
+        ys = []
+        for size in scale.sizes:
+            cell = Cell(
+                suite="random", app="random", size=size, granularity=1.0,
+                topology=topology, algorithm=algorithm,
+            )
+            ys.append(run_cell(cell, cache=cache).runtime_s)
+        fig.series[algorithm] = ys
+    return fig

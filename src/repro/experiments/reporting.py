@@ -1,0 +1,47 @@
+"""Rendering figure reproductions as ASCII tables.
+
+The benches and the CLI print these; EXPERIMENTS.md embeds them. Keeping
+output plain text makes results diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.aggregate import geometric_mean
+from repro.experiments.figures import FigureSeries
+from repro.util.tables import format_series
+
+
+def render_figure(fig: FigureSeries, ndigits: int = 1) -> str:
+    """One panel as a table (plus a ratio column when BSA & DLS present)."""
+    ratio = None
+    if "bsa" in fig.series and "dls" in fig.series:
+        ratio = ("bsa", "dls")
+    return format_series(
+        fig.x_label, fig.xs, fig.series, title=fig.title,
+        ndigits=ndigits, ratio_of=ratio,
+    )
+
+
+def render_panels(panels: Dict[str, FigureSeries]) -> str:
+    """All four topology panels of a figure."""
+    return "\n\n".join(render_figure(p) for p in panels.values())
+
+
+def render_improvement_summary(
+    panels: Dict[str, FigureSeries],
+    base: str = "dls",
+    ours: str = "bsa",
+) -> str:
+    """Geomean BSA/DLS ratio per topology — the paper's ~20% claim."""
+    lines = [f"{ours.upper()} vs {base.upper()} (geomean SL ratio; < 1 means {ours.upper()} wins)"]
+    for name, fig in panels.items():
+        ratios = [
+            o / b
+            for o, b in zip(fig.series[ours], fig.series[base])
+            if b
+        ]
+        gm = geometric_mean(ratios)
+        lines.append(f"  {name:>10}: {gm:.3f}  (improvement {100 * (1 - gm):+.1f}%)")
+    return "\n".join(lines)

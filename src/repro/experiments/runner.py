@@ -1,0 +1,160 @@
+"""Cell execution: build the (graph, platform), run the algorithm, validate.
+
+Every cell result is validated with the strict schedule validator before it
+is trusted or cached — a reproduction whose schedules silently violate the
+contention model would be meaningless.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.experiments.cache import ResultCache, default_cache
+from repro.experiments.config import Cell
+from repro.network.system import HeterogeneousSystem
+from repro.network.topology import (
+    Topology,
+    clique,
+    hypercube,
+    random_topology,
+    ring,
+)
+from repro.baselines.cpop import schedule_cpop
+from repro.baselines.dls import DLSOptions, schedule_dls
+from repro.baselines.etf import schedule_etf
+from repro.baselines.heft import schedule_heft
+from repro.core.bsa import BSAOptions, schedule_bsa
+from repro.schedule.metrics import compute_metrics
+from repro.schedule.validator import validate_schedule
+from repro.workloads.suites import random_graph, regular_graph
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Everything recorded about one cell run."""
+
+    schedule_length: float
+    total_comm_cost: float
+    speedup: float
+    normalized_sl: float
+    runtime_s: float
+    n_tasks: int
+    n_edges: int
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "CellResult":
+        return cls(**d)
+
+
+def build_topology(name: str, n_procs: int, seed: int = 0) -> Topology:
+    if name == "ring":
+        return ring(n_procs)
+    if name == "hypercube":
+        return hypercube(n_procs)
+    if name == "clique":
+        return clique(n_procs)
+    if name == "random":
+        return random_topology(n_procs, 2, 8, seed=seed)
+    raise ConfigurationError(f"unknown topology {name!r}")
+
+
+def build_cell_system(cell: Cell) -> HeterogeneousSystem:
+    """Materialize the graph and bound platform for a cell."""
+    if cell.suite == "regular":
+        graph = regular_graph(
+            cell.app, cell.size, cell.granularity, seed=cell.graph_seed
+        )
+    elif cell.suite == "random":
+        graph = random_graph(cell.size, cell.granularity, seed=cell.graph_seed)
+    else:
+        raise ConfigurationError(f"unknown suite {cell.suite!r}")
+    topology = build_topology(cell.topology, cell.n_procs, seed=cell.system_seed)
+    link_range = (cell.het_lo, cell.het_hi) if cell.link_het else None
+    return HeterogeneousSystem.sample(
+        graph,
+        topology,
+        het_range=(cell.het_lo, cell.het_hi),
+        link_het_range=link_range,
+        seed=cell.system_seed,
+    )
+
+
+#: algorithm registry. Plain names are the paper's comparison (BSA with
+#: reproduction defaults vs Sih & Lee's DLS); suffixed names are ablation
+#: variants referenced by the ablation benches and EXPERIMENTS.md.
+_SCHEDULERS: Dict[str, Callable] = {
+    "bsa": lambda system: schedule_bsa(system, BSAOptions()),
+    "dls": lambda system: schedule_dls(system, DLSOptions()),
+    "heft": schedule_heft,
+    "cpop": schedule_cpop,
+    "etf": schedule_etf,
+    # --- ablations -----------------------------------------------------
+    "bsa-literal": lambda system: schedule_bsa(
+        system,
+        BSAOptions(
+            migration_trigger="st_gt_drt",
+            migration_scope="neighbors",
+            route_mode="incremental",
+            n_sweeps=1,
+        ),
+    ),
+    "bsa-neighbors": lambda system: schedule_bsa(
+        system, BSAOptions(migration_scope="neighbors")
+    ),
+    "bsa-incremental": lambda system: schedule_bsa(
+        system,
+        BSAOptions(migration_scope="neighbors", route_mode="incremental"),
+    ),
+    "bsa-1sweep": lambda system: schedule_bsa(system, BSAOptions(n_sweeps=1)),
+    "bsa-novip": lambda system: schedule_bsa(system, BSAOptions(vip_follow=False)),
+    "bsa-append": lambda system: schedule_bsa(system, BSAOptions(insertion=False)),
+    "dls-insertion": lambda system: schedule_dls(
+        system, DLSOptions(link_insertion=True)
+    ),
+}
+
+
+def run_cell(
+    cell: Cell,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    validate: bool = True,
+) -> CellResult:
+    """Run (or fetch) one cell. Schedules are validated before caching."""
+    if cache is None:
+        cache = default_cache()
+    if use_cache:
+        hit = cache.get(cell.key())
+        if hit is not None:
+            return CellResult.from_dict(hit)
+
+    system = build_cell_system(cell)
+    try:
+        scheduler = _SCHEDULERS[cell.algorithm]
+    except KeyError:
+        raise ConfigurationError(f"unknown algorithm {cell.algorithm!r}") from None
+
+    t0 = time.perf_counter()
+    schedule = scheduler(system)
+    runtime = time.perf_counter() - t0
+    if validate:
+        validate_schedule(schedule)
+    metrics = compute_metrics(schedule)
+    result = CellResult(
+        schedule_length=metrics.schedule_length,
+        total_comm_cost=metrics.total_comm_cost,
+        speedup=metrics.speedup,
+        normalized_sl=metrics.normalized_sl,
+        runtime_s=runtime,
+        n_tasks=system.graph.n_tasks,
+        n_edges=system.graph.n_edges,
+    )
+    if use_cache:
+        cache.put(cell.key(), result.to_dict())
+    return result

@@ -1,0 +1,44 @@
+"""Task-graph substrate: DAG model, level analysis, CP/IB/OB partition, IO."""
+
+from repro.graph.model import TaskGraph
+from repro.graph.analysis import (
+    GraphAnalysis,
+    b_levels,
+    t_levels,
+    critical_path,
+    cp_length,
+    granularity,
+)
+from repro.graph.partition import TaskClass, classify_tasks
+from repro.graph.validation import check_dag, check_connected, validate_graph
+from repro.graph.io import (
+    graph_to_dict,
+    graph_from_dict,
+    graph_to_json,
+    graph_from_json,
+    to_networkx,
+    from_networkx,
+    to_dot,
+)
+
+__all__ = [
+    "TaskGraph",
+    "GraphAnalysis",
+    "b_levels",
+    "t_levels",
+    "critical_path",
+    "cp_length",
+    "granularity",
+    "TaskClass",
+    "classify_tasks",
+    "check_dag",
+    "check_connected",
+    "validate_graph",
+    "graph_to_dict",
+    "graph_from_dict",
+    "graph_to_json",
+    "graph_from_json",
+    "to_networkx",
+    "from_networkx",
+    "to_dot",
+]

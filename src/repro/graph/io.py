@@ -1,0 +1,99 @@
+"""Serialization and interop for task graphs.
+
+Plain-dict / JSON round-trips are used by the experiment cache; networkx
+conversion is provided for users who want to build or analyse graphs with
+the wider ecosystem; DOT export helps eyeballing small graphs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import GraphError
+from repro.graph.model import TaskGraph
+
+_FORMAT_VERSION = 1
+
+
+def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
+    """Lossless plain-dict form (task ids are stringified for JSON safety)."""
+    return {
+        "version": _FORMAT_VERSION,
+        "name": graph.name,
+        "tasks": [[repr(t), graph.cost(t)] for t in graph.tasks()],
+        "edges": [[repr(u), repr(v), graph.comm_cost(u, v)] for u, v in graph.edges()],
+    }
+
+
+def graph_from_dict(data: Dict[str, Any]) -> TaskGraph:
+    """Inverse of :func:`graph_to_dict` (task ids come back via eval of repr
+    for the basic types we emit: int / str tuples are not supported)."""
+    if data.get("version") != _FORMAT_VERSION:
+        raise GraphError(f"unsupported graph format version {data.get('version')!r}")
+    g = TaskGraph(name=data.get("name", "graph"))
+    for raw, cost in data["tasks"]:
+        g.add_task(_parse_id(raw), cost)
+    for raw_u, raw_v, cost in data["edges"]:
+        g.add_edge(_parse_id(raw_u), _parse_id(raw_v), cost)
+    return g
+
+
+def _parse_id(raw: str):
+    """Parse the repr of an int or str task id without a general eval."""
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
+        return raw[1:-1]
+    raise GraphError(f"cannot parse task id {raw!r}")
+
+
+def graph_to_json(graph: TaskGraph) -> str:
+    return json.dumps(graph_to_dict(graph), indent=None, sort_keys=False)
+
+
+def graph_from_json(text: str) -> TaskGraph:
+    return graph_from_dict(json.loads(text))
+
+
+def to_networkx(graph: TaskGraph):
+    """Convert to a ``networkx.DiGraph`` with ``cost`` / ``comm`` attributes."""
+    import networkx as nx
+
+    g = nx.DiGraph(name=graph.name)
+    for t in graph.tasks():
+        g.add_node(t, cost=graph.cost(t))
+    for u, v in graph.edges():
+        g.add_edge(u, v, comm=graph.comm_cost(u, v))
+    return g
+
+
+def from_networkx(nxg, name: str = None) -> TaskGraph:
+    """Build a :class:`TaskGraph` from a ``networkx.DiGraph``.
+
+    Node attribute ``cost`` (or ``weight``) gives execution cost; edge
+    attribute ``comm`` (or ``weight``) gives communication cost.
+    """
+    g = TaskGraph(name=name or getattr(nxg, "name", None) or "from_networkx")
+    for node, attrs in nxg.nodes(data=True):
+        cost = attrs.get("cost", attrs.get("weight"))
+        if cost is None:
+            raise GraphError(f"node {node!r} lacks a 'cost'/'weight' attribute")
+        g.add_task(node, cost)
+    for u, v, attrs in nxg.edges(data=True):
+        comm = attrs.get("comm", attrs.get("weight", 0.0))
+        g.add_edge(u, v, comm)
+    return g
+
+
+def to_dot(graph: TaskGraph) -> str:
+    """Graphviz DOT text for quick visual inspection of small graphs."""
+    lines = [f'digraph "{graph.name}" {{']
+    for t in graph.tasks():
+        lines.append(f'  "{t}" [label="{t}\\n{graph.cost(t):g}"];')
+    for u, v in graph.edges():
+        lines.append(f'  "{u}" -> "{v}" [label="{graph.comm_cost(u, v):g}"];')
+    lines.append("}")
+    return "\n".join(lines)

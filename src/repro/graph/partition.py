@@ -1,0 +1,42 @@
+"""CP / IB / OB task classification (paper §2.2).
+
+* **CP** tasks lie on the selected critical path.
+* **IB** (in-branch) tasks are ancestors of some CP task but not CP
+  themselves — they must precede their CP descendants in any serial order.
+* **OB** (out-branch) tasks are everything else; the serialization appends
+  them last, in descending b-level order.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.graph.model import TaskGraph, TaskId
+
+
+class TaskClass(enum.Enum):
+    CP = "cp"
+    IB = "ib"
+    OB = "ob"
+
+
+def classify_tasks(
+    graph: TaskGraph,
+    cp: Sequence[TaskId],
+) -> Dict[TaskId, TaskClass]:
+    """Partition every task into CP / IB / OB given a chosen critical path."""
+    cp_set = set(cp)
+    result: Dict[TaskId, TaskClass] = {}
+    ib: set = set()
+    for t in cp:
+        ib |= graph.ancestors(t)
+    ib -= cp_set
+    for t in graph.tasks():
+        if t in cp_set:
+            result[t] = TaskClass.CP
+        elif t in ib:
+            result[t] = TaskClass.IB
+        else:
+            result[t] = TaskClass.OB
+    return result

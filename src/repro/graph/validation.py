@@ -1,0 +1,48 @@
+"""Structural validation of task graphs.
+
+The paper assumes a *connected* DAG (``n-1 <= e < n^2``). Generators in
+:mod:`repro.workloads` guarantee this; :func:`validate_graph` enforces it
+for user-supplied graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import CycleError, DisconnectedGraphError, GraphError
+from repro.graph.model import TaskGraph
+
+
+def check_dag(graph: TaskGraph) -> None:
+    """Raise :class:`CycleError` unless the graph is acyclic."""
+    graph.topological_order()
+
+
+def check_connected(graph: TaskGraph) -> None:
+    """Raise unless the graph is weakly connected (ignoring edge direction)."""
+    tasks = graph.tasks()
+    if not tasks:
+        return
+    seen = {tasks[0]}
+    stack = [tasks[0]]
+    while stack:
+        t = stack.pop()
+        for nb in graph.successors(t) + graph.predecessors(t):
+            if nb not in seen:
+                seen.add(nb)
+                stack.append(nb)
+    if len(seen) != graph.n_tasks:
+        missing = [t for t in tasks if t not in seen]
+        raise DisconnectedGraphError(
+            f"graph {graph.name!r} is not weakly connected; "
+            f"{len(missing)} unreachable task(s), e.g. {missing[:5]}"
+        )
+
+
+def validate_graph(graph: TaskGraph, require_connected: bool = True) -> None:
+    """Full structural check: non-empty, acyclic, (optionally) connected."""
+    if graph.n_tasks == 0:
+        raise GraphError("empty task graph")
+    check_dag(graph)
+    if require_connected:
+        check_connected(graph)

@@ -1,0 +1,42 @@
+"""Heterogeneous processor network substrate: topologies, factors, routing."""
+
+from repro.network.topology import (
+    Topology,
+    ring,
+    chain,
+    hypercube,
+    clique,
+    fully_connected,
+    star,
+    mesh2d,
+    binary_tree,
+    random_topology,
+    paper_topologies,
+)
+from repro.network.system import HeterogeneousSystem, LinkHeterogeneity
+from repro.network.routing import (
+    RoutingTable,
+    shortest_path,
+    build_routing_table,
+    ecube_path,
+)
+
+__all__ = [
+    "Topology",
+    "ring",
+    "chain",
+    "hypercube",
+    "clique",
+    "fully_connected",
+    "star",
+    "mesh2d",
+    "binary_tree",
+    "random_topology",
+    "paper_topologies",
+    "HeterogeneousSystem",
+    "LinkHeterogeneity",
+    "RoutingTable",
+    "shortest_path",
+    "build_routing_table",
+    "ecube_path",
+]

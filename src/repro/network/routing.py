@@ -1,0 +1,170 @@
+"""Static routing: BFS shortest-path tables and E-cube (hypercube) routes.
+
+The DLS baseline (and any routing-table scheduler) needs a pre-determined
+route between every processor pair, exactly as the paper describes:
+"the routing table has to be pre-determined, usually using shortest-path
+algorithm, for the input target topology". We use BFS (all links count one
+hop) with deterministic lexicographic tie-breaking, so tables are stable
+across runs.
+
+The paper also names **E-cube routing** as the canonical *static* policy
+on hypercubes ("such as a hypercube that uses the E-cube routing
+method"); :func:`ecube_path` implements it (dimension-ordered: correct
+address bits from least-significant upward), and
+``RoutingTable(topology, strategy="ecube")`` builds a table from it.
+
+BSA deliberately needs *no* routing table — routes emerge from migration —
+but the table is also used by the schedule *validator* to check that DLS
+routes are shortest paths, and by tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RoutingError
+from repro.network.topology import Link, Proc, Topology, link_id
+
+
+class RoutingTable:
+    """All-pairs next-hop table over a topology.
+
+    ``strategy="bfs"`` (default) uses breadth-first shortest paths on any
+    topology; ``strategy="ecube"`` uses dimension-ordered E-cube routing
+    and requires a hypercube (every ``p ^ (1 << d)`` neighbor present).
+    """
+
+    def __init__(self, topology: Topology, strategy: str = "bfs"):
+        if strategy not in ("bfs", "ecube"):
+            raise RoutingError(f"unknown routing strategy {strategy!r}")
+        self.topology = topology
+        self.strategy = strategy
+        # next_hop[src][dst] -> neighbor of src on the chosen shortest path
+        self._next: Dict[Proc, Dict[Proc, Proc]] = {}
+        if strategy == "ecube":
+            _check_hypercube(topology)
+            for src in topology.processors:
+                self._next[src] = {}
+                for dst in topology.processors:
+                    if src != dst:
+                        self._next[src][dst] = _ecube_next_hop(src, dst)
+        else:
+            for dst in topology.processors:
+                self._build_to(dst)
+
+    def _build_to(self, dst: Proc) -> None:
+        """BFS from ``dst``; parents give next hops toward ``dst``."""
+        dist: Dict[Proc, int] = {dst: 0}
+        toward: Dict[Proc, Proc] = {}
+        frontier = [dst]
+        while frontier:
+            nxt: List[Proc] = []
+            for p in frontier:
+                for q in self.topology.neighbors(p):  # sorted => deterministic
+                    if q not in dist:
+                        dist[q] = dist[p] + 1
+                        toward[q] = p
+                        nxt.append(q)
+            frontier = nxt
+        for src, hop in toward.items():
+            self._next.setdefault(src, {})[dst] = hop
+        self._next.setdefault(dst, {})
+
+    def next_hop(self, src: Proc, dst: Proc) -> Proc:
+        if src == dst:
+            raise RoutingError(f"no hop needed from {src} to itself")
+        try:
+            return self._next[src][dst]
+        except KeyError:
+            raise RoutingError(f"no route from {src} to {dst}") from None
+
+    def path(self, src: Proc, dst: Proc) -> List[Proc]:
+        """Processor sequence ``src .. dst`` (length 1 when src == dst)."""
+        if src == dst:
+            return [src]
+        path = [src]
+        cur = src
+        while cur != dst:
+            cur = self.next_hop(cur, dst)
+            path.append(cur)
+            if len(path) > self.topology.n_procs:
+                raise RoutingError(f"routing loop from {src} to {dst}")
+        return path
+
+    def links_on_path(self, src: Proc, dst: Proc) -> List[Link]:
+        procs = self.path(src, dst)
+        return [link_id(a, b) for a, b in zip(procs, procs[1:])]
+
+    def hop_distance(self, src: Proc, dst: Proc) -> int:
+        return len(self.path(src, dst)) - 1
+
+
+def shortest_path(topology: Topology, src: Proc, dst: Proc) -> List[Proc]:
+    """One-off BFS shortest path (for callers that don't keep a table)."""
+    if src == dst:
+        return [src]
+    prev: Dict[Proc, Proc] = {}
+    seen = {src}
+    frontier = [src]
+    while frontier:
+        nxt: List[Proc] = []
+        for p in frontier:
+            for q in topology.neighbors(p):
+                if q not in seen:
+                    seen.add(q)
+                    prev[q] = p
+                    if q == dst:
+                        path = [dst]
+                        while path[-1] != src:
+                            path.append(prev[path[-1]])
+                        return list(reversed(path))
+                    nxt.append(q)
+        frontier = nxt
+    raise RoutingError(f"no route from {src} to {dst}")
+
+
+def build_routing_table(topology: Topology, strategy: str = "bfs") -> RoutingTable:
+    """Convenience constructor mirroring the paper's wording."""
+    return RoutingTable(topology, strategy=strategy)
+
+
+# ----------------------------------------------------------------------
+# E-cube (dimension-ordered) routing for hypercubes
+# ----------------------------------------------------------------------
+
+def _check_hypercube(topology: Topology) -> None:
+    m = topology.n_procs
+    if m < 2 or (m & (m - 1)) != 0:
+        raise RoutingError(
+            f"E-cube routing needs a power-of-two hypercube, got {m} processors"
+        )
+    dim = m.bit_length() - 1
+    for p in range(m):
+        for d in range(dim):
+            if not topology.has_link(p, p ^ (1 << d)):
+                raise RoutingError(
+                    f"topology {topology.name!r} is not a hypercube: "
+                    f"missing link ({p}, {p ^ (1 << d)})"
+                )
+
+
+def _ecube_next_hop(src: Proc, dst: Proc) -> Proc:
+    """Correct the least-significant differing address bit."""
+    diff = src ^ dst
+    lowest = diff & -diff
+    return src ^ lowest
+
+
+def ecube_path(topology: Topology, src: Proc, dst: Proc) -> List[Proc]:
+    """Dimension-ordered E-cube route on a hypercube.
+
+    Deterministic, deadlock-free, and exactly ``popcount(src ^ dst)`` hops
+    — the static policy the paper names for hypercubes.
+    """
+    _check_hypercube(topology)
+    path = [src]
+    cur = src
+    while cur != dst:
+        cur = _ecube_next_hop(cur, dst)
+        path.append(cur)
+    return path

@@ -1,0 +1,297 @@
+"""Processor network topologies.
+
+A :class:`Topology` is an undirected, connected graph over processors
+``0..m-1``. Links are *undirected half-duplex* resources identified by the
+sorted pair ``(min(x, y), max(x, y))`` — one timeline per link, shared by
+both directions, matching Figure 2 of the paper (one Gantt column per link
+``L12..L41``).
+
+Builders cover the paper's four experimental topologies (16-processor
+ring, hypercube, clique, degree-bounded random) plus a few extras (chain,
+star, 2-D mesh, binary tree) that are useful in examples and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.util.rng import RngStream
+
+Proc = int
+Link = Tuple[int, int]
+
+
+def link_id(x: Proc, y: Proc) -> Link:
+    """Canonical (sorted) identifier of the undirected link between x and y."""
+    if x == y:
+        raise TopologyError(f"no self-link on processor {x}")
+    return (x, y) if x < y else (y, x)
+
+
+class Topology:
+    """An undirected, connected processor network.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of processors, identified ``0..n_procs-1``.
+    links:
+        Iterable of processor pairs. Duplicates (in either order) are
+        rejected.
+    name:
+        Human-readable name used in reports and cache keys.
+    """
+
+    def __init__(self, n_procs: int, links: Iterable[Tuple[int, int]], name: str = "topology"):
+        if n_procs <= 0:
+            raise TopologyError(f"need at least one processor, got {n_procs}")
+        self.name = name
+        self.n_procs = n_procs
+        self._adj: Dict[Proc, List[Proc]] = {p: [] for p in range(n_procs)}
+        self._links: List[Link] = []
+        seen = set()
+        for x, y in links:
+            self._check_proc(x)
+            self._check_proc(y)
+            lid = link_id(x, y)
+            if lid in seen:
+                raise TopologyError(f"duplicate link {lid}")
+            seen.add(lid)
+            self._links.append(lid)
+            self._adj[x].append(y)
+            self._adj[y].append(x)
+        for p in self._adj:
+            self._adj[p].sort()
+        self._links.sort()
+        if n_procs > 1:
+            self._check_connected()
+
+    def _check_proc(self, p: Proc) -> None:
+        if not (0 <= p < self.n_procs):
+            raise TopologyError(f"processor {p} out of range 0..{self.n_procs - 1}")
+
+    def _check_connected(self) -> None:
+        seen = {0}
+        stack = [0]
+        while stack:
+            p = stack.pop()
+            for q in self._adj[p]:
+                if q not in seen:
+                    seen.add(q)
+                    stack.append(q)
+        if len(seen) != self.n_procs:
+            missing = sorted(set(range(self.n_procs)) - seen)
+            raise TopologyError(
+                f"topology {self.name!r} is disconnected; unreachable processors {missing[:8]}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def processors(self) -> List[Proc]:
+        return list(range(self.n_procs))
+
+    @property
+    def links(self) -> List[Link]:
+        return list(self._links)
+
+    @property
+    def n_links(self) -> int:
+        return len(self._links)
+
+    def neighbors(self, p: Proc) -> List[Proc]:
+        self._check_proc(p)
+        return list(self._adj[p])
+
+    def degree(self, p: Proc) -> int:
+        self._check_proc(p)
+        return len(self._adj[p])
+
+    def has_link(self, x: Proc, y: Proc) -> bool:
+        if x == y:
+            return False
+        return y in self._adj.get(x, ())
+
+    def bfs_order(self, start: Proc) -> List[Proc]:
+        """Breadth-first processor order from ``start`` (paper's
+        ``BuildProcessorList``); neighbor ties resolved by index."""
+        self._check_proc(start)
+        order = [start]
+        seen = {start}
+        head = 0
+        while head < len(order):
+            p = order[head]
+            head += 1
+            for q in self._adj[p]:
+                if q not in seen:
+                    seen.add(q)
+                    order.append(q)
+        return order
+
+    def diameter(self) -> int:
+        """Longest shortest-path (in hops) over all processor pairs."""
+        best = 0
+        for src in range(self.n_procs):
+            dist = {src: 0}
+            frontier = [src]
+            while frontier:
+                nxt = []
+                for p in frontier:
+                    for q in self._adj[p]:
+                        if q not in dist:
+                            dist[q] = dist[p] + 1
+                            nxt.append(q)
+                frontier = nxt
+            best = max(best, max(dist.values()))
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Topology({self.name!r}, m={self.n_procs}, links={self.n_links})"
+
+
+# ----------------------------------------------------------------------
+# builders
+# ----------------------------------------------------------------------
+
+def ring(m: int, name: Optional[str] = None) -> Topology:
+    """Ring of ``m`` processors (paper topology (a))."""
+    if m < 3:
+        raise TopologyError(f"ring needs >= 3 processors, got {m}")
+    links = [(i, (i + 1) % m) for i in range(m)]
+    return Topology(m, links, name or f"ring{m}")
+
+
+def chain(m: int, name: Optional[str] = None) -> Topology:
+    """Open chain (line) of ``m`` processors."""
+    if m < 2:
+        raise TopologyError(f"chain needs >= 2 processors, got {m}")
+    links = [(i, i + 1) for i in range(m - 1)]
+    return Topology(m, links, name or f"chain{m}")
+
+
+def hypercube(m: int, name: Optional[str] = None) -> Topology:
+    """Binary hypercube; ``m`` must be a power of two (paper topology (b))."""
+    if m < 2 or (m & (m - 1)) != 0:
+        raise TopologyError(f"hypercube size must be a power of two, got {m}")
+    dim = m.bit_length() - 1
+    links = []
+    for p in range(m):
+        for d in range(dim):
+            q = p ^ (1 << d)
+            if p < q:
+                links.append((p, q))
+    return Topology(m, links, name or f"hypercube{m}")
+
+
+def clique(m: int, name: Optional[str] = None) -> Topology:
+    """Fully connected network (paper topology (c))."""
+    if m < 2:
+        raise TopologyError(f"clique needs >= 2 processors, got {m}")
+    links = [(i, j) for i in range(m) for j in range(i + 1, m)]
+    return Topology(m, links, name or f"clique{m}")
+
+
+#: Alias matching the paper's wording "fully-connected network".
+fully_connected = clique
+
+
+def star(m: int, name: Optional[str] = None) -> Topology:
+    """Star: processor 0 is the hub."""
+    if m < 2:
+        raise TopologyError(f"star needs >= 2 processors, got {m}")
+    return Topology(m, [(0, i) for i in range(1, m)], name or f"star{m}")
+
+
+def mesh2d(rows: int, cols: int, name: Optional[str] = None) -> Topology:
+    """2-D mesh of ``rows x cols`` processors."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise TopologyError(f"mesh needs >= 2 processors, got {rows}x{cols}")
+    links = []
+    for r in range(rows):
+        for c in range(cols):
+            p = r * cols + c
+            if c + 1 < cols:
+                links.append((p, p + 1))
+            if r + 1 < rows:
+                links.append((p, p + cols))
+    return Topology(rows * cols, links, name or f"mesh{rows}x{cols}")
+
+
+def binary_tree(m: int, name: Optional[str] = None) -> Topology:
+    """Complete binary tree layout over ``m`` processors (heap indexing)."""
+    if m < 2:
+        raise TopologyError(f"tree needs >= 2 processors, got {m}")
+    links = [(((i + 1) // 2) - 1, i) for i in range(1, m)]
+    return Topology(m, links, name or f"tree{m}")
+
+
+def random_topology(
+    m: int,
+    min_degree: int = 2,
+    max_degree: int = 8,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Random connected topology with per-processor degree in
+    ``[min_degree, max_degree]`` (paper topology (d): degrees 2..8).
+
+    Construction: a random spanning tree guarantees connectivity, then
+    random extra links are added while respecting ``max_degree``; finally
+    processors under ``min_degree`` get extra links where capacity allows.
+    """
+    if m < 2:
+        raise TopologyError(f"random topology needs >= 2 processors, got {m}")
+    if not (1 <= min_degree <= max_degree):
+        raise TopologyError(f"bad degree bounds [{min_degree}, {max_degree}]")
+    if max_degree >= m:
+        max_degree = m - 1
+        min_degree = min(min_degree, max_degree)
+    rng = RngStream(seed).fork("random-topology", m, min_degree, max_degree)
+
+    degree = [0] * m
+    links: set = set()
+
+    def connect(x: int, y: int) -> bool:
+        lid = link_id(x, y)
+        if lid in links or x == y:
+            return False
+        links.add(lid)
+        degree[x] += 1
+        degree[y] += 1
+        return True
+
+    # random spanning tree (random permutation, attach to a random earlier node
+    # that still has degree capacity; the root always has capacity early on)
+    perm = list(range(m))
+    rng.shuffle(perm)
+    for i in range(1, m):
+        candidates = [p for p in perm[:i] if degree[p] < max_degree]
+        if not candidates:
+            candidates = perm[:i]  # exceed max_degree rather than disconnect
+        connect(perm[i], rng.choice(candidates))
+
+    # densify toward min_degree and sprinkle extra links
+    for p in range(m):
+        attempts = 0
+        while degree[p] < min_degree and attempts < 4 * m:
+            q = rng.randint(0, m - 1)
+            attempts += 1
+            if q != p and degree[q] < max_degree:
+                connect(p, q)
+    extra_target = rng.randint(0, m)
+    for _ in range(extra_target):
+        x, y = rng.randint(0, m - 1), rng.randint(0, m - 1)
+        if x != y and degree[x] < max_degree and degree[y] < max_degree:
+            connect(x, y)
+
+    return Topology(m, sorted(links), name or f"random{m}(seed={seed})")
+
+
+def paper_topologies(m: int = 16, seed: int = 0) -> "dict[str, Topology]":
+    """The four 16-processor topologies used in the paper's evaluation."""
+    return {
+        "ring": ring(m),
+        "hypercube": hypercube(m),
+        "clique": clique(m),
+        "random": random_topology(m, 2, 8, seed=seed),
+    }

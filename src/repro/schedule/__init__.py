@@ -1,0 +1,50 @@
+"""Link-contention schedule substrate.
+
+A :class:`Schedule` assigns every task to a processor slot and routes every
+inter-processor message over a contiguous path of links, each hop holding
+an exclusive reservation on its (half-duplex) link. Schedules are
+*order-based*: processors and links hold ordered occupant lists, and
+:func:`settle` derives actual times from those orders, which is how BSA's
+"bubbling up" is realized. A strict :func:`validate_schedule` checks every
+invariant the paper's model implies.
+"""
+
+from repro.schedule.events import TaskSlot, MessageHop, Route
+from repro.schedule.schedule import Schedule
+from repro.schedule.settle import settle
+from repro.schedule.validator import validate_schedule, schedule_violations
+from repro.schedule.metrics import ScheduleMetrics, compute_metrics
+from repro.schedule.gantt import render_gantt
+from repro.schedule.analysis import (
+    ChainLink,
+    ChainBreakdown,
+    critical_chain,
+    chain_breakdown,
+)
+from repro.schedule.io import (
+    schedule_to_dict,
+    schedule_from_dict,
+    schedule_to_json,
+    schedule_from_json,
+)
+
+__all__ = [
+    "TaskSlot",
+    "MessageHop",
+    "Route",
+    "Schedule",
+    "settle",
+    "validate_schedule",
+    "schedule_violations",
+    "ScheduleMetrics",
+    "compute_metrics",
+    "render_gantt",
+    "ChainLink",
+    "ChainBreakdown",
+    "critical_chain",
+    "chain_breakdown",
+    "schedule_to_dict",
+    "schedule_from_dict",
+    "schedule_to_json",
+    "schedule_from_json",
+]

@@ -1,0 +1,97 @@
+"""Post-hoc schedule analysis: critical chains and time breakdowns.
+
+``critical_chain`` walks backward from the last-finishing task through
+each task's latest-arriving input, producing the chain that actually
+determines the makespan — the first thing to look at when asking *why* a
+schedule is as long as it is. ``chain_breakdown`` splits the makespan
+into execution, message transit and queueing components along that chain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.graph.model import TaskId
+from repro.schedule.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class ChainLink:
+    """One task on the critical chain, with its gating message (if any)."""
+
+    task: TaskId
+    proc: int
+    start: float
+    finish: float
+    drt: float                    # latest input arrival (0 for entries)
+    queue_wait: float             # start - drt (blocked behind the processor)
+    via_message: Optional[TaskId]  # predecessor whose message gated us
+    message_hops: int
+    message_wait: float           # arrival - producer finish (0 if local)
+
+
+@dataclass(frozen=True)
+class ChainBreakdown:
+    """Makespan decomposition along the critical chain."""
+
+    schedule_length: float
+    exec_time: float
+    message_wait: float
+    queue_wait: float
+    n_tasks: int
+    n_hops: int
+
+    @property
+    def exec_fraction(self) -> float:
+        return self.exec_time / self.schedule_length if self.schedule_length else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.message_wait / self.schedule_length if self.schedule_length else 0.0
+
+
+def critical_chain(schedule: Schedule) -> List[ChainLink]:
+    """The chain of tasks (last to first input) that sets the makespan."""
+    if not schedule.slots:
+        return []
+    graph = schedule.system.graph
+    links: List[ChainLink] = []
+    task = max(schedule.slots.values(), key=lambda s: s.finish).task
+    while True:
+        slot = schedule.slots[task]
+        preds = graph.predecessors(task)
+        drt, vip = 0.0, None
+        for k in preds:
+            arr = schedule.arrival_time((k, task))
+            if arr > drt:
+                drt, vip = arr, k
+        msg_hops, msg_wait = 0, 0.0
+        if vip is not None:
+            route = schedule.routes.get((vip, task))
+            if route is not None and not route.is_local:
+                msg_hops = len(route.hops)
+                msg_wait = drt - schedule.slots[vip].finish
+        links.append(ChainLink(
+            task=task, proc=slot.proc, start=slot.start, finish=slot.finish,
+            drt=drt, queue_wait=max(0.0, slot.start - drt),
+            via_message=vip, message_hops=msg_hops, message_wait=msg_wait,
+        ))
+        if vip is None:
+            break
+        task = vip
+    links.reverse()
+    return links
+
+
+def chain_breakdown(schedule: Schedule) -> ChainBreakdown:
+    """Split the makespan into exec / message / queue time along the chain."""
+    chain = critical_chain(schedule)
+    return ChainBreakdown(
+        schedule_length=schedule.schedule_length(),
+        exec_time=sum(l.finish - l.start for l in chain),
+        message_wait=sum(l.message_wait for l in chain),
+        queue_wait=sum(l.queue_wait for l in chain),
+        n_tasks=len(chain),
+        n_hops=sum(l.message_hops for l in chain),
+    )

@@ -1,0 +1,88 @@
+"""Schedule building blocks: task slots, message hops, routes.
+
+Times on these objects are *derived* state — either set by the settle pass
+(BSA) or directly by a monotonic list scheduler (DLS). The authoritative
+state of an order-based schedule is the occupant order on each processor
+and link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.graph.model import TaskId
+from repro.network.topology import Link, Proc, link_id
+
+Edge = Tuple[TaskId, TaskId]
+
+
+@dataclass
+class TaskSlot:
+    """Execution of one task on one processor over ``[start, finish)``."""
+
+    task: TaskId
+    proc: Proc
+    start: float = 0.0
+    finish: float = 0.0
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class MessageHop:
+    """One link traversal of a message.
+
+    ``src``/``dst`` give the direction; ``link`` is the canonical
+    (undirected) link id, i.e. ``link == link_id(src, dst)``.
+    """
+
+    edge: Edge
+    src: Proc
+    dst: Proc
+    start: float = 0.0
+    finish: float = 0.0
+
+    @property
+    def link(self) -> Link:
+        return link_id(self.src, self.dst)
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class Route:
+    """The full multi-hop path of one message between two processors.
+
+    ``hops`` is ordered from the producer's processor toward the
+    consumer's. An empty route means the message is local (zero cost).
+    """
+
+    edge: Edge
+    hops: List[MessageHop] = field(default_factory=list)
+
+    @property
+    def is_local(self) -> bool:
+        return not self.hops
+
+    @property
+    def procs(self) -> List[Proc]:
+        """Processor sequence visited by the message (empty when local)."""
+        if not self.hops:
+            return []
+        seq = [self.hops[0].src]
+        seq.extend(h.dst for h in self.hops)
+        return seq
+
+    @property
+    def arrival(self) -> float:
+        """Finish time on the last hop (message finish time at destination)."""
+        return self.hops[-1].finish if self.hops else 0.0
+
+    def check_contiguous(self) -> bool:
+        """True when consecutive hops share endpoints (a real path)."""
+        return all(a.dst == b.src for a, b in zip(self.hops, self.hops[1:]))

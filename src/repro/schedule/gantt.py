@@ -1,0 +1,78 @@
+"""ASCII Gantt charts in the style of the paper's Figure 2.
+
+One column per processor and per link; time flows downward. Intended for
+eyeballing small schedules (the worked example, tests, tutorials) — the
+experiment harness reports numbers, not art.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.schedule.schedule import Schedule
+
+
+def render_gantt(
+    schedule: Schedule,
+    height: int = 40,
+    col_width: int = 9,
+    show_links: bool = True,
+) -> str:
+    """Render the schedule as fixed-width text.
+
+    Each column is a processor (``P0..``) or link (``L0-1..``); each row is
+    a time bucket of ``SL / height``. Task slots print their id at the
+    bucket where they start and ``|`` while running; hops print
+    ``src>dst`` of their message.
+    """
+    sl = schedule.schedule_length()
+    if sl <= 0:
+        return "(empty schedule)"
+    dt = sl / height
+
+    columns: List[List[str]] = []
+    headers: List[str] = []
+
+    for p in schedule.system.topology.processors:
+        headers.append(f"P{p}")
+        col = [" " * col_width] * (height + 1)
+        for t in schedule.proc_order[p]:
+            slot = schedule.slots[t]
+            r0 = min(height, int(slot.start / dt))
+            r1 = min(height, max(r0, int((slot.finish - 1e-9) / dt)))
+            label = str(t)[:col_width].center(col_width)
+            # short slots can share a bucket: don't hide the earlier label
+            if col[r0].strip() and r0 < r1:
+                r0 += 1
+            col[r0] = label
+            for r in range(r0 + 1, r1 + 1):
+                col[r] = "|".center(col_width)
+        columns.append(col)
+
+    if show_links:
+        for l in schedule.system.topology.links:
+            headers.append(f"L{l[0]}-{l[1]}")
+            col = [" " * col_width] * (height + 1)
+            for hop in schedule.link_order[l]:
+                r0 = min(height, int(hop.start / dt))
+                r1 = min(height, max(r0, int((hop.finish - 1e-9) / dt)))
+                label = f"{_short(hop.edge[0])}>{_short(hop.edge[1])}"[:col_width]
+                col[r0] = label.center(col_width)
+                for r in range(r0 + 1, r1 + 1):
+                    col[r] = ":".center(col_width)
+            columns.append(col)
+
+    lines = []
+    lines.append("time".rjust(8) + " " + " ".join(h.center(col_width) for h in headers))
+    lines.append("-" * (9 + (col_width + 1) * len(headers)))
+    for r in range(height + 1):
+        t_label = f"{r * dt:8.1f}"
+        lines.append(t_label + " " + " ".join(col[r] for col in columns))
+    lines.append("-" * (9 + (col_width + 1) * len(headers)))
+    lines.append(f"schedule length = {sl:.1f}  ({schedule.algorithm})")
+    return "\n".join(lines)
+
+
+def _short(task_id) -> str:
+    s = str(task_id)
+    return s if len(s) <= 4 else s[:4]

@@ -1,0 +1,93 @@
+"""Schedule serialization — export a schedule for downstream tooling.
+
+The dict/JSON form records the platform identity, every task slot, and
+every message route with per-hop timing. It is self-contained enough to
+re-render a Gantt chart or audit contention in another tool; importing it
+back into a :class:`Schedule` requires the original system object (costs
+are not duplicated in the export).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import SchedulingError
+from repro.network.system import HeterogeneousSystem
+from repro.schedule.schedule import Schedule
+
+_FORMAT_VERSION = 1
+
+
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Lossless plain-dict export of assignments, times and routes."""
+    return {
+        "version": _FORMAT_VERSION,
+        "algorithm": schedule.algorithm,
+        "graph": schedule.system.graph.name,
+        "topology": schedule.system.topology.name,
+        "schedule_length": schedule.schedule_length(),
+        "tasks": [
+            {
+                "task": repr(t),
+                "proc": slot.proc,
+                "start": slot.start,
+                "finish": slot.finish,
+            }
+            for t, slot in schedule.slots.items()
+        ],
+        "messages": [
+            {
+                "edge": [repr(e[0]), repr(e[1])],
+                "local": route.is_local,
+                "hops": [
+                    {
+                        "src": h.src,
+                        "dst": h.dst,
+                        "start": h.start,
+                        "finish": h.finish,
+                    }
+                    for h in route.hops
+                ],
+            }
+            for e, route in schedule.routes.items()
+        ],
+    }
+
+
+def schedule_to_json(schedule: Schedule, indent: int = None) -> str:
+    return json.dumps(schedule_to_dict(schedule), indent=indent)
+
+
+def schedule_from_dict(data: Dict[str, Any], system: HeterogeneousSystem) -> Schedule:
+    """Rebuild a schedule over ``system`` from :func:`schedule_to_dict` output.
+
+    Task ids are matched by repr against the system's graph (ints and
+    strings round-trip; other id types need a custom loader).
+    """
+    if data.get("version") != _FORMAT_VERSION:
+        raise SchedulingError(f"unsupported schedule format {data.get('version')!r}")
+    by_repr = {repr(t): t for t in system.graph.tasks()}
+
+    sched = Schedule(system, algorithm=data.get("algorithm", "imported"))
+    for entry in data["tasks"]:
+        task = by_repr.get(entry["task"])
+        if task is None:
+            raise SchedulingError(f"unknown task {entry['task']!r} in import")
+        sched.place_task(task, entry["proc"], start=entry["start"])
+    for msg in data["messages"]:
+        u = by_repr.get(msg["edge"][0])
+        v = by_repr.get(msg["edge"][1])
+        if u is None or v is None:
+            raise SchedulingError(f"unknown edge {msg['edge']} in import")
+        if msg["local"] or not msg["hops"]:
+            sched.mark_local((u, v))
+        else:
+            path = [msg["hops"][0]["src"]] + [h["dst"] for h in msg["hops"]]
+            starts = [h["start"] for h in msg["hops"]]
+            sched.set_route((u, v), path, hop_starts=starts)
+    return sched
+
+
+def schedule_from_json(text: str, system: HeterogeneousSystem) -> Schedule:
+    return schedule_from_dict(json.loads(text), system)

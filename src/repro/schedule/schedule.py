@@ -1,0 +1,246 @@
+"""The mutable schedule container shared by all algorithms.
+
+State model
+-----------
+* ``proc_order[p]``  — ordered list of task ids on processor ``p``.
+* ``slots[task]``    — the :class:`TaskSlot` (processor + times).
+* ``routes[edge]``   — the :class:`Route` of every non-local message.
+* ``link_order[l]``  — ordered list of :class:`MessageHop` on link ``l``.
+
+Orders are authoritative; times are derived (via :func:`repro.schedule.
+settle.settle`) or set directly by monotonic schedulers. Mutators keep the
+cross-indices consistent so BSA's migration machinery can move tasks and
+re-route messages without bookkeeping leaks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SchedulingError
+from repro.graph.model import TaskId
+from repro.network.system import HeterogeneousSystem
+from repro.network.topology import Link, Proc, link_id
+from repro.schedule.events import Edge, MessageHop, Route, TaskSlot
+from repro.util.intervals import Interval
+
+
+class Schedule:
+    """A (possibly partial) mapping of tasks and messages onto a system."""
+
+    def __init__(self, system: HeterogeneousSystem, algorithm: str = "unknown"):
+        self.system = system
+        self.algorithm = algorithm
+        self.proc_order: Dict[Proc, List[TaskId]] = {
+            p: [] for p in system.topology.processors
+        }
+        self.slots: Dict[TaskId, TaskSlot] = {}
+        self.routes: Dict[Edge, Route] = {}
+        self.link_order: Dict[Link, List[MessageHop]] = {
+            l: [] for l in system.topology.links
+        }
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def proc_of(self, task: TaskId) -> Proc:
+        try:
+            return self.slots[task].proc
+        except KeyError:
+            raise SchedulingError(f"task {task!r} is not scheduled") from None
+
+    def is_scheduled(self, task: TaskId) -> bool:
+        return task in self.slots
+
+    def schedule_length(self) -> float:
+        """Makespan: latest task finish time (0 for an empty schedule)."""
+        if not self.slots:
+            return 0.0
+        return max(s.finish for s in self.slots.values())
+
+    def proc_busy(self, proc: Proc) -> List[TaskSlot]:
+        """Start-sorted busy slots on ``proc`` (assumes settled times).
+
+        Returns the live :class:`TaskSlot` objects — do not mutate.
+        """
+        slots = self.slots
+        return [slots[t] for t in self.proc_order[proc]]
+
+    def link_busy(self, link: Link) -> List[MessageHop]:
+        """Start-sorted busy hops on ``link`` (assumes settled times).
+
+        Returns the *live* hop list — callers must not mutate it.
+        """
+        return self.link_order[link]
+
+    def route_of(self, edge: Edge) -> Optional[Route]:
+        return self.routes.get(edge)
+
+    def arrival_time(self, edge: Edge) -> float:
+        """When the message of ``edge`` is available at the consumer's
+        processor: producer finish if local, else last-hop finish."""
+        route = self.routes.get(edge)
+        if route is None or route.is_local:
+            return self.slots[edge[0]].finish
+        return route.arrival
+
+    # ------------------------------------------------------------------
+    # task mutation
+    # ------------------------------------------------------------------
+    def place_task(
+        self,
+        task: TaskId,
+        proc: Proc,
+        start: float,
+        position: Optional[int] = None,
+    ) -> TaskSlot:
+        """Add ``task`` to ``proc`` with the given start time.
+
+        ``position=None`` inserts in start-time order (stable); an explicit
+        position pins the slot in the processor's order list.
+        """
+        if task in self.slots:
+            raise SchedulingError(f"task {task!r} already scheduled")
+        duration = self.system.exec_cost(task, proc)
+        slot = TaskSlot(task, proc, start, start + duration)
+        order = self.proc_order[proc]
+        if position is None:
+            position = self._bisect_by_start(order, start)
+        order.insert(position, task)
+        self.slots[task] = slot
+        return slot
+
+    def _bisect_by_start(self, order: List[TaskId], start: float) -> int:
+        lo, hi = 0, len(order)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.slots[order[mid]].start <= start:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def remove_task(self, task: TaskId) -> TaskSlot:
+        """Remove ``task`` from its processor (routes are left untouched)."""
+        slot = self.slots.pop(task, None)
+        if slot is None:
+            raise SchedulingError(f"task {task!r} is not scheduled")
+        self.proc_order[slot.proc].remove(task)
+        return slot
+
+    # ------------------------------------------------------------------
+    # route mutation
+    # ------------------------------------------------------------------
+    def set_route(
+        self,
+        edge: Edge,
+        proc_path: List[Proc],
+        hop_starts: Optional[List[float]] = None,
+    ) -> Route:
+        """Install a route along ``proc_path`` (length >= 2), replacing any
+        existing route of ``edge``.
+
+        ``hop_starts`` (when given) sets each hop's start time and places
+        it in start-order on its link; otherwise hops are appended at the
+        end of each link's order (a later settle pass assigns times).
+        """
+        if len(proc_path) < 2:
+            raise SchedulingError(f"route for {edge} needs >= 2 processors")
+        self.clear_route(edge)
+        hops: List[MessageHop] = []
+        for i, (a, b) in enumerate(zip(proc_path, proc_path[1:])):
+            if not self.system.topology.has_link(a, b):
+                raise SchedulingError(f"no link between {a} and {b} for {edge}")
+            duration = self.system.comm_cost(edge, link_id(a, b))
+            start = hop_starts[i] if hop_starts else 0.0
+            hop = MessageHop(edge, a, b, start, start + duration)
+            hops.append(hop)
+            order = self.link_order[hop.link]
+            if hop_starts:
+                order.insert(self._bisect_hops(order, start), hop)
+            else:
+                order.append(hop)
+        route = Route(edge, hops)
+        self.routes[edge] = route
+        return route
+
+    def _bisect_hops(self, order: List[MessageHop], start: float) -> int:
+        lo, hi = 0, len(order)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if order[mid].start <= start:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def clear_route(self, edge: Edge) -> None:
+        """Remove the route of ``edge`` and release its link reservations."""
+        route = self.routes.pop(edge, None)
+        if route is None:
+            return
+        for hop in route.hops:
+            self.link_order[hop.link].remove(hop)
+
+    def mark_local(self, edge: Edge) -> None:
+        """Record that ``edge`` is intra-processor (no links used)."""
+        self.clear_route(edge)
+        self.routes[edge] = Route(edge, [])
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+    def resort_orders(self) -> None:
+        """Re-sort occupant lists by settled start time (stable)."""
+        for p, order in self.proc_order.items():
+            order.sort(key=lambda t: (self.slots[t].start, self.slots[t].finish))
+        for l, hops in self.link_order.items():
+            hops.sort(key=lambda h: (h.start, h.finish))
+
+    def copy(self) -> "Schedule":
+        """Deep copy (fresh slot/hop objects, shared system)."""
+        dup = Schedule(self.system, self.algorithm)
+        for t, slot in self.slots.items():
+            dup.slots[t] = TaskSlot(slot.task, slot.proc, slot.start, slot.finish)
+        for p, order in self.proc_order.items():
+            dup.proc_order[p] = list(order)
+        hop_map: Dict[int, MessageHop] = {}
+        for edge, route in self.routes.items():
+            new_hops = []
+            for h in route.hops:
+                nh = MessageHop(h.edge, h.src, h.dst, h.start, h.finish)
+                hop_map[id(h)] = nh
+                new_hops.append(nh)
+            dup.routes[edge] = Route(edge, new_hops)
+        for l, hops in self.link_order.items():
+            dup.link_order[l] = [hop_map[id(h)] for h in hops]
+        return dup
+
+    def restore_from(self, snapshot: "Schedule") -> None:
+        """Adopt the full state of ``snapshot`` (transactional rollback).
+
+        ``snapshot`` must have been produced by :meth:`copy` of a schedule
+        over the same system; afterwards the snapshot must not be reused.
+        """
+        if snapshot.system is not self.system:
+            raise SchedulingError("cannot restore from a different system's snapshot")
+        self.algorithm = snapshot.algorithm
+        self.proc_order = snapshot.proc_order
+        self.slots = snapshot.slots
+        self.routes = snapshot.routes
+        self.link_order = snapshot.link_order
+
+    def stats_summary(self) -> str:
+        """One-line human summary used by the CLI and examples."""
+        return (
+            f"{self.algorithm}: SL={self.schedule_length():.1f}, "
+            f"tasks={len(self.slots)}, "
+            f"routed_msgs={sum(1 for r in self.routes.values() if not r.is_local)}, "
+            f"hops={sum(len(r.hops) for r in self.routes.values())}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Schedule({self.algorithm!r}, tasks={len(self.slots)}, "
+            f"SL={self.schedule_length():.1f})"
+        )

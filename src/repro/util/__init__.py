@@ -1,0 +1,24 @@
+"""Shared low-level utilities: seeded RNG helpers, interval math, tables."""
+
+from repro.util.rng import RngStream, stable_uniform, stable_seed
+from repro.util.intervals import (
+    Interval,
+    earliest_gap,
+    insert_interval,
+    intervals_overlap,
+    total_busy,
+)
+from repro.util.tables import format_table, format_series
+
+__all__ = [
+    "RngStream",
+    "stable_uniform",
+    "stable_seed",
+    "Interval",
+    "earliest_gap",
+    "insert_interval",
+    "intervals_overlap",
+    "total_busy",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,105 @@
+"""Interval arithmetic for processor and link timelines.
+
+A timeline is a list of non-overlapping, time-sorted :class:`Interval`
+objects. The central operation is :func:`earliest_gap`: find the earliest
+start ``>= ready`` at which an item of a given duration fits without
+overlapping existing reservations — the "insertion" slot policy used by
+BSA (and by the link substrate shared with the baselines).
+
+All comparisons use an absolute slack ``EPS`` to absorb floating-point
+noise: two reservations are considered non-overlapping when they overlap
+by less than ``EPS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open reservation ``[start, finish)`` tagged with a payload."""
+
+    start: float
+    finish: float
+    payload: object = None
+
+    def __post_init__(self):
+        if self.finish < self.start - EPS:
+            raise ValueError(f"interval finishes before it starts: [{self.start}, {self.finish})")
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+    def overlaps(self, other: "Interval") -> bool:
+        return intervals_overlap(self.start, self.finish, other.start, other.finish)
+
+
+def intervals_overlap(s1: float, f1: float, s2: float, f2: float) -> bool:
+    """True when ``[s1, f1)`` and ``[s2, f2)`` overlap by more than EPS."""
+    return (min(f1, f2) - max(s1, s2)) > EPS
+
+
+def earliest_gap(
+    busy: Sequence,
+    ready: float,
+    duration: float,
+) -> float:
+    """Earliest start ``>= ready`` fitting ``duration`` among ``busy`` slots.
+
+    ``busy`` is any sequence of objects with ``start``/``finish`` attributes
+    (:class:`Interval`, task slots, message hops), sorted by start time and
+    non-overlapping. Zero-duration items are placed at ``ready`` (they never
+    conflict).
+    """
+    if duration < -EPS:
+        raise ValueError(f"negative duration {duration}")
+    if duration <= EPS:
+        return max(ready, 0.0)
+    t = max(ready, 0.0)
+    for iv in busy:
+        if iv.start - t >= duration - EPS:
+            return t  # fits in the gap before this reservation
+        if iv.finish > t:
+            t = iv.finish
+    return t
+
+
+def insert_interval(busy: List[Interval], item: Interval) -> int:
+    """Insert ``item`` into the sorted timeline ``busy``; return its index.
+
+    Raises ``ValueError`` if the insertion would overlap an existing
+    reservation — callers are expected to have used :func:`earliest_gap`.
+    """
+    lo, hi = 0, len(busy)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if busy[mid].start < item.start:
+            lo = mid + 1
+        else:
+            hi = mid
+    idx = lo
+    for neighbor in busy[max(0, idx - 1): idx + 1]:
+        if neighbor.overlaps(item):
+            raise ValueError(
+                f"overlapping reservation: {item} vs {neighbor}"
+            )
+    busy.insert(idx, item)
+    return idx
+
+
+def total_busy(busy: Sequence[Interval]) -> float:
+    """Total reserved time on a timeline (assumes non-overlapping)."""
+    return sum(iv.duration for iv in busy)
+
+
+def verify_disjoint(busy: Sequence[Interval]) -> Optional[Tuple[Interval, Interval]]:
+    """Return the first overlapping pair in a start-sorted timeline, if any."""
+    for a, b in zip(busy, busy[1:]):
+        if a.overlaps(b):
+            return (a, b)
+    return None

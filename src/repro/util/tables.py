@@ -1,0 +1,76 @@
+"""Minimal ASCII table / series rendering for reports and benchmarks.
+
+The experiment harness prints the same rows/series the paper plots; these
+helpers keep that output aligned and diff-friendly without pulling in a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _fmt_cell(value, ndigits: int = 1) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        return f"{value:,.{ndigits}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    ndigits: int = 1,
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows: List[List[str]] = [[_fmt_cell(c, ndigits) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(sep))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    xs: Sequence,
+    series: "dict[str, Sequence[float]]",
+    title: Optional[str] = None,
+    ndigits: int = 1,
+    ratio_of: Optional[tuple] = None,
+) -> str:
+    """Render one x-column plus one column per named series.
+
+    ``ratio_of=(num, den)`` appends a ratio column ``num/den`` — used for
+    the BSA/DLS improvement columns in the figure reproductions.
+    """
+    headers = [x_label] + list(series.keys())
+    if ratio_of:
+        num, den = ratio_of
+        headers.append(f"{num}/{den}")
+    rows = []
+    for i, x in enumerate(xs):
+        row = [x] + [vals[i] if i < len(vals) else None for vals in series.values()]
+        if ratio_of:
+            num, den = ratio_of
+            n, d = series[num][i], series[den][i]
+            row.append(n / d if (n is not None and d) else None)
+        rows.append(row)
+    nd = 3 if ratio_of else ndigits
+    return format_table(headers, rows, title=title, ndigits=nd)

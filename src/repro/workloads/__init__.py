@@ -1,0 +1,42 @@
+"""Workload generators for the paper's two task-graph suites."""
+
+from repro.workloads.base import scale_exec_costs, ensure_connected
+from repro.workloads.gaussian import gaussian_elimination, gaussian_size
+from repro.workloads.lu import lu_decomposition, lu_size
+from repro.workloads.laplace import laplace_solver, laplace_size
+from repro.workloads.mva import mean_value_analysis, mva_size
+from repro.workloads.fft import fft_butterfly, fft_size
+from repro.workloads.forkjoin import fork_join, forkjoin_size
+from repro.workloads.random_graphs import random_layered_graph
+from repro.workloads.granularity import apply_granularity
+from repro.workloads.suites import (
+    REGULAR_APPS,
+    regular_graph,
+    random_graph,
+    paper_sizes,
+    paper_granularities,
+)
+
+__all__ = [
+    "scale_exec_costs",
+    "ensure_connected",
+    "gaussian_elimination",
+    "gaussian_size",
+    "lu_decomposition",
+    "lu_size",
+    "laplace_solver",
+    "laplace_size",
+    "mean_value_analysis",
+    "mva_size",
+    "fft_butterfly",
+    "fft_size",
+    "fork_join",
+    "forkjoin_size",
+    "random_layered_graph",
+    "apply_granularity",
+    "REGULAR_APPS",
+    "regular_graph",
+    "random_graph",
+    "paper_sizes",
+    "paper_granularities",
+]

@@ -1,0 +1,44 @@
+"""Fast Fourier Transform (butterfly) task graph — extension workload.
+
+The radix-2 FFT butterfly is the classic high-communication benchmark in
+the scheduling literature (it appears in the CASCH suite the paper's
+authors maintained): ``log2(P)`` rank stages over ``P`` points, where the
+task for point ``i`` at stage ``s+1`` consumes point ``i`` and its
+butterfly partner ``i ^ 2^s`` from stage ``s``, preceded by a recursive
+bit-reversal permutation stage modeled as one input task per point.
+
+Task count: ``P * (log2(P) + 1)`` — P=8 gives 32, P=32 gives 192,
+P=64 gives 448. Uniform execution weights (each butterfly is one complex
+multiply-add pair).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.model import TaskGraph
+from repro.workloads.base import scale_exec_costs
+
+
+def fft_size(n_points: int) -> int:
+    """Number of tasks for a ``n_points``-point FFT (power of two)."""
+    if n_points < 2 or (n_points & (n_points - 1)) != 0:
+        raise WorkloadError(f"FFT needs a power-of-two size, got {n_points}")
+    stages = n_points.bit_length() - 1
+    return n_points * (stages + 1)
+
+
+def fft_butterfly(n_points: int, mean_exec: float = 150.0) -> TaskGraph:
+    """Build the radix-2 FFT butterfly DAG over ``n_points`` points."""
+    if n_points < 2 or (n_points & (n_points - 1)) != 0:
+        raise WorkloadError(f"FFT needs a power-of-two size, got {n_points}")
+    stages = n_points.bit_length() - 1
+    g = TaskGraph(name=f"fft(P={n_points})")
+    for s in range(stages + 1):
+        for i in range(n_points):
+            g.add_task(("F", s, i), 1.0)
+    for s in range(stages):
+        stride = 1 << s
+        for i in range(n_points):
+            g.add_edge(("F", s, i), ("F", s + 1, i), 1.0)
+            g.add_edge(("F", s, i ^ stride), ("F", s + 1, i), 1.0)
+    return scale_exec_costs(g, mean_exec)

@@ -1,0 +1,45 @@
+"""Fork-join task graph — extension workload.
+
+A sequence of parallel sections: a fork task scatters to ``width``
+independent workers, a join task gathers them, repeated ``depth`` times.
+This is the cleanest stress test for the link substrate — every fork and
+join pushes ``width`` messages through the forker's links at once, so
+contention (not dependency depth) dominates.
+
+Task count: ``depth * (width + 2) + 1``. Workers carry the weight; the
+fork/join coordination tasks are light (relative weights 4:1).
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.model import TaskGraph
+from repro.workloads.base import scale_exec_costs
+
+_WORKER_WEIGHT = 4.0
+_COORD_WEIGHT = 1.0
+
+
+def forkjoin_size(depth: int, width: int) -> int:
+    """Number of tasks for ``depth`` sections of ``width`` workers."""
+    if depth < 1 or width < 1:
+        raise WorkloadError(f"fork-join needs depth,width >= 1, got {depth},{width}")
+    return depth * (width + 2) + 1
+
+
+def fork_join(depth: int, width: int, mean_exec: float = 150.0) -> TaskGraph:
+    """Build ``depth`` chained fork-join sections of ``width`` workers."""
+    if depth < 1 or width < 1:
+        raise WorkloadError(f"fork-join needs depth,width >= 1, got {depth},{width}")
+    g = TaskGraph(name=f"forkjoin(d={depth},w={width})")
+    g.add_task(("J", 0), _COORD_WEIGHT)  # the program entry doubles as join 0
+    for d in range(1, depth + 1):
+        g.add_task(("F", d), _COORD_WEIGHT)
+        g.add_edge(("J", d - 1), ("F", d), 1.0)
+        for w in range(width):
+            g.add_task(("W", d, w), _WORKER_WEIGHT)
+            g.add_edge(("F", d), ("W", d, w), 1.0)
+        g.add_task(("J", d), _COORD_WEIGHT)
+        for w in range(width):
+            g.add_edge(("W", d, w), ("J", d), 1.0)
+    return scale_exec_costs(g, mean_exec)

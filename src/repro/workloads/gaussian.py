@@ -1,0 +1,55 @@
+"""Gaussian elimination task graph (Cosnard et al. 1988).
+
+For a matrix of dimension ``N``, elimination step ``k`` (k = 1..N-1)
+consists of one *pivot* task ``P(k)`` (prepare pivot column) feeding
+``N - k`` *update* tasks ``U(k, j)`` (eliminate column ``k`` from row
+``j``); the update of row ``k+1`` feeds the next pivot and every other
+update feeds its same-row update in step ``k+1``.
+
+Task count: ``(N-1) + N(N-1)/2`` — matrix dimension 10 gives ~54 tasks,
+31 gives ~495, matching the paper's 50..500 sweep.
+
+Pivot tasks carry twice the relative weight of update tasks (a pivot
+scans/normalizes a column; updates touch one row each); the mean is then
+rescaled to ``mean_exec``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.model import TaskGraph
+from repro.workloads.base import scale_exec_costs
+
+_PIVOT_WEIGHT = 2.0
+_UPDATE_WEIGHT = 1.0
+
+
+def gaussian_size(n_dim: int) -> int:
+    """Number of tasks for matrix dimension ``n_dim``."""
+    if n_dim < 2:
+        raise WorkloadError(f"gaussian elimination needs N >= 2, got {n_dim}")
+    return (n_dim - 1) + n_dim * (n_dim - 1) // 2
+
+
+def gaussian_elimination(n_dim: int, mean_exec: float = 150.0) -> TaskGraph:
+    """Build the Gaussian-elimination DAG for matrix dimension ``n_dim``.
+
+    Communication costs are initialized to 1 and are expected to be set by
+    :func:`repro.workloads.granularity.apply_granularity`.
+    """
+    if n_dim < 2:
+        raise WorkloadError(f"gaussian elimination needs N >= 2, got {n_dim}")
+    g = TaskGraph(name=f"gauss(N={n_dim})")
+    for k in range(1, n_dim):
+        g.add_task(("P", k), _PIVOT_WEIGHT)
+        for j in range(k + 1, n_dim + 1):
+            g.add_task(("U", k, j), _UPDATE_WEIGHT)
+    for k in range(1, n_dim):
+        for j in range(k + 1, n_dim + 1):
+            g.add_edge(("P", k), ("U", k, j), 1.0)
+        if k + 1 < n_dim:
+            # row k+1's update completes the next pivot column
+            g.add_edge(("U", k, k + 1), ("P", k + 1), 1.0)
+            for j in range(k + 2, n_dim + 1):
+                g.add_edge(("U", k, j), ("U", k + 1, j), 1.0)
+    return scale_exec_costs(g, mean_exec)

@@ -1,0 +1,41 @@
+"""Laplace equation solver task graph (wavefront over a square grid).
+
+The classic "Laplace" graph in the task-scheduling benchmark literature
+(e.g. CASCH) is an ``s x s`` grid computed as a wavefront: point ``(i, j)``
+depends on its north ``(i-1, j)`` and west ``(i, j-1)`` neighbors —
+a diamond-shaped DAG with a single entry ``(0, 0)`` and single exit
+``(s-1, s-1)``.
+
+Task count: ``s^2`` — s = 7 gives 49 tasks, 22 gives 484. All points do
+the same stencil work, so execution weights are uniform.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.model import TaskGraph
+from repro.workloads.base import scale_exec_costs
+
+
+def laplace_size(s: int) -> int:
+    """Number of tasks for grid side ``s``."""
+    if s < 2:
+        raise WorkloadError(f"laplace grid needs s >= 2, got {s}")
+    return s * s
+
+
+def laplace_solver(s: int, mean_exec: float = 150.0) -> TaskGraph:
+    """Build the ``s x s`` wavefront Laplace DAG."""
+    if s < 2:
+        raise WorkloadError(f"laplace grid needs s >= 2, got {s}")
+    g = TaskGraph(name=f"laplace(s={s})")
+    for i in range(s):
+        for j in range(s):
+            g.add_task(("L", i, j), 1.0)
+    for i in range(s):
+        for j in range(s):
+            if i + 1 < s:
+                g.add_edge(("L", i, j), ("L", i + 1, j), 1.0)
+            if j + 1 < s:
+                g.add_edge(("L", i, j), ("L", i, j + 1), 1.0)
+    return scale_exec_costs(g, mean_exec)

@@ -1,0 +1,55 @@
+"""LU-decomposition task graph (classic O(N^2)-task structure).
+
+Step ``k`` (k = 1..N-1) factors the pivot ``D(k)``, then computes the
+``k``-th column of L — tasks ``C(k, i)`` for i = k+1..N — and the ``k``-th
+row of U — tasks ``R(k, j)``. The first column/row tasks of step ``k``
+feed the next diagonal; the rest feed their same-index successors:
+
+    D(k) -> C(k, i), R(k, j)
+    C(k, k+1), R(k, k+1) -> D(k+1)
+    C(k, i) -> C(k+1, i)   (i > k+1)
+    R(k, j) -> R(k+1, j)   (j > k+1)
+
+Task count: ``(N-1)(N+1) = N^2 - 1`` — dimension 7 gives 48 tasks, 22
+gives 483. Diagonal tasks are heavier (they include the reciprocal /
+pivot test); relative weights D:C:R = 3:1:1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.model import TaskGraph
+from repro.workloads.base import scale_exec_costs
+
+_DIAG_WEIGHT = 3.0
+_PANEL_WEIGHT = 1.0
+
+
+def lu_size(n_dim: int) -> int:
+    """Number of tasks for matrix dimension ``n_dim``."""
+    if n_dim < 2:
+        raise WorkloadError(f"LU decomposition needs N >= 2, got {n_dim}")
+    return n_dim * n_dim - 1
+
+
+def lu_decomposition(n_dim: int, mean_exec: float = 150.0) -> TaskGraph:
+    """Build the LU-decomposition DAG for matrix dimension ``n_dim``."""
+    if n_dim < 2:
+        raise WorkloadError(f"LU decomposition needs N >= 2, got {n_dim}")
+    g = TaskGraph(name=f"lu(N={n_dim})")
+    for k in range(1, n_dim):
+        g.add_task(("D", k), _DIAG_WEIGHT)
+        for i in range(k + 1, n_dim + 1):
+            g.add_task(("C", k, i), _PANEL_WEIGHT)
+            g.add_task(("R", k, i), _PANEL_WEIGHT)
+    for k in range(1, n_dim):
+        for i in range(k + 1, n_dim + 1):
+            g.add_edge(("D", k), ("C", k, i), 1.0)
+            g.add_edge(("D", k), ("R", k, i), 1.0)
+        if k + 1 < n_dim:
+            g.add_edge(("C", k, k + 1), ("D", k + 1), 1.0)
+            g.add_edge(("R", k, k + 1), ("D", k + 1), 1.0)
+            for i in range(k + 2, n_dim + 1):
+                g.add_edge(("C", k, i), ("C", k + 1, i), 1.0)
+                g.add_edge(("R", k, i), ("R", k + 1, i), 1.0)
+    return scale_exec_costs(g, mean_exec)

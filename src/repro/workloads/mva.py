@@ -1,0 +1,44 @@
+"""Mean value analysis (MVA) task graph.
+
+Exact MVA for closed queueing networks iterates over population sizes:
+the metrics for population ``i`` at queue ``j`` need the results for
+population ``i-1`` at queues ``j`` and ``j-1`` — a lower-triangular
+recurrence. The benchmark graph is therefore a triangular grid: task
+``(i, j)`` for ``1 <= j <= i <= s`` with
+
+    (i-1, j)   -> (i, j)     (same queue, previous population)
+    (i-1, j-1) -> (i, j)     (previous queue, previous population)
+
+Task count: ``s(s+1)/2`` — s = 10 gives 55 tasks, 31 gives 496. Uniform
+execution weights.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.graph.model import TaskGraph
+from repro.workloads.base import scale_exec_costs
+
+
+def mva_size(s: int) -> int:
+    """Number of tasks for triangle side ``s``."""
+    if s < 2:
+        raise WorkloadError(f"mva triangle needs s >= 2, got {s}")
+    return s * (s + 1) // 2
+
+
+def mean_value_analysis(s: int, mean_exec: float = 150.0) -> TaskGraph:
+    """Build the triangular MVA DAG with side ``s``."""
+    if s < 2:
+        raise WorkloadError(f"mva triangle needs s >= 2, got {s}")
+    g = TaskGraph(name=f"mva(s={s})")
+    for i in range(1, s + 1):
+        for j in range(1, i + 1):
+            g.add_task(("M", i, j), 1.0)
+    for i in range(2, s + 1):
+        for j in range(1, i + 1):
+            if j <= i - 1:
+                g.add_edge(("M", i - 1, j), ("M", i, j), 1.0)
+            if j - 1 >= 1:
+                g.add_edge(("M", i - 1, j - 1), ("M", i, j), 1.0)
+    return scale_exec_costs(g, mean_exec)

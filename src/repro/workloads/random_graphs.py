@@ -1,0 +1,82 @@
+"""Randomly structured task graphs (paper's second suite).
+
+Layered construction: ``n`` tasks are split over roughly ``sqrt(n)``
+layers of random width; every non-entry task draws one to three parents,
+biased toward the adjacent layer, and extra forward edges are sprinkled to
+reach a target average degree. Components, if any, are bridged so the
+graph is weakly connected (the paper assumes connectivity).
+
+Execution costs are uniform in [100, 200] per the paper; communication
+costs are placeholders until
+:func:`repro.workloads.granularity.apply_granularity` sets them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+from repro.errors import WorkloadError
+from repro.graph.model import TaskGraph, TaskId
+from repro.util.rng import RngStream
+from repro.workloads.base import ensure_connected
+
+
+def random_layered_graph(
+    n_tasks: int,
+    seed: int = 0,
+    exec_range=(100.0, 200.0),
+    extra_edge_factor: float = 1.0,
+    max_parents: int = 3,
+) -> TaskGraph:
+    """Generate a connected random DAG with ``n_tasks`` tasks.
+
+    ``extra_edge_factor`` scales the number of long-range edges added on
+    top of the parent links (≈ ``factor * n`` extras), controlling density.
+    """
+    if n_tasks < 2:
+        raise WorkloadError(f"random graph needs >= 2 tasks, got {n_tasks}")
+    rng = RngStream(seed).fork("random-graph", n_tasks)
+    lo, hi = exec_range
+    if not (0 < lo <= hi):
+        raise WorkloadError(f"bad execution range [{lo}, {hi}]")
+
+    g = TaskGraph(name=f"random(n={n_tasks},seed={seed})")
+
+    # layer widths: random split around sqrt(n) layers
+    n_layers = max(2, int(round(math.sqrt(n_tasks))))
+    widths = [1] * n_layers
+    for _ in range(n_tasks - n_layers):
+        widths[rng.randint(0, n_layers - 1)] += 1
+
+    layer_of: Dict[TaskId, int] = {}
+    layers: List[List[int]] = []
+    tid = 0
+    for layer, width in enumerate(widths):
+        layers.append([])
+        for _ in range(width):
+            g.add_task(tid, rng.uniform(lo, hi))
+            layer_of[tid] = layer
+            layers[layer].append(tid)
+            tid += 1
+
+    # parent links: 1..max_parents parents, biased toward the previous layer
+    for layer in range(1, n_layers):
+        for t in layers[layer]:
+            n_parents = rng.randint(1, max_parents)
+            for _ in range(n_parents):
+                src_layer = layer - 1 if rng.random() < 0.7 else rng.randint(0, layer - 1)
+                parent = rng.choice(layers[src_layer])
+                if not g.has_edge(parent, t):
+                    g.add_edge(parent, t, 1.0)
+
+    # extra forward edges for density
+    n_extra = int(extra_edge_factor * n_tasks * 0.3)
+    for _ in range(n_extra):
+        a = rng.randint(0, n_tasks - 1)
+        b = rng.randint(0, n_tasks - 1)
+        if layer_of[a] < layer_of[b] and not g.has_edge(a, b):
+            g.add_edge(a, b, 1.0)
+
+    ensure_connected(g, layer_of, rng)
+    return g

@@ -1,0 +1,66 @@
+"""Shared fixtures: small graphs and systems used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    HeterogeneousSystem,
+    TaskGraph,
+    clique,
+    hypercube,
+    random_graph,
+    ring,
+)
+from repro.experiments.paper_example import build_figure1_graph, build_paper_system
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """a -> b, a -> c, b -> d, c -> d (the canonical 4-task diamond)."""
+    g = TaskGraph(name="diamond")
+    g.add_task("a", 10.0)
+    g.add_task("b", 20.0)
+    g.add_task("c", 30.0)
+    g.add_task("d", 10.0)
+    g.add_edge("a", "b", 5.0)
+    g.add_edge("a", "c", 15.0)
+    g.add_edge("b", "d", 25.0)
+    g.add_edge("c", "d", 5.0)
+    return g
+
+
+@pytest.fixture
+def chain3() -> TaskGraph:
+    """x -> y -> z chain."""
+    g = TaskGraph(name="chain3")
+    g.add_task("x", 4.0)
+    g.add_task("y", 6.0)
+    g.add_task("z", 8.0)
+    g.add_edge("x", "y", 3.0)
+    g.add_edge("y", "z", 5.0)
+    return g
+
+
+@pytest.fixture
+def paper_graph() -> TaskGraph:
+    return build_figure1_graph()
+
+
+@pytest.fixture
+def paper_system() -> HeterogeneousSystem:
+    return build_paper_system()
+
+
+@pytest.fixture
+def small_random_system() -> HeterogeneousSystem:
+    """A 30-task random graph on a 4-processor ring (fast to schedule)."""
+    graph = random_graph(30, granularity=1.0, seed=7)
+    return HeterogeneousSystem.sample(graph, ring(4), het_range=(1, 10), seed=7)
+
+
+@pytest.fixture
+def homogeneous_system(diamond) -> HeterogeneousSystem:
+    """Diamond graph on a 3-ring where every processor is identical."""
+    table = {t: [diamond.cost(t)] * 3 for t in diamond.tasks()}
+    return HeterogeneousSystem.from_exec_table(diamond, ring(3), table)

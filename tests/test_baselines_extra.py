@@ -1,0 +1,92 @@
+"""Tests for HEFT, CPOP and the naive reference schedulers."""
+
+import pytest
+
+from repro import (
+    schedule_cpop,
+    schedule_heft,
+    schedule_round_robin,
+    schedule_serial,
+    validate_schedule,
+)
+from repro.baselines.cpop import downward_ranks
+from repro.baselines.heft import upward_ranks
+
+
+class TestHEFT:
+    def test_valid(self, small_random_system):
+        sched = schedule_heft(small_random_system)
+        validate_schedule(sched)
+        assert sched.algorithm == "HEFT"
+
+    def test_upward_ranks_decrease_along_edges(self, small_random_system):
+        ranks = upward_ranks(small_random_system)
+        graph = small_random_system.graph
+        for u, v in graph.edges():
+            assert ranks[u] > ranks[v]
+
+    def test_valid_on_paper_system(self, paper_system):
+        validate_schedule(schedule_heft(paper_system))
+
+    def test_deterministic(self, small_random_system):
+        a = schedule_heft(small_random_system)
+        b = schedule_heft(small_random_system)
+        assert a.schedule_length() == b.schedule_length()
+
+
+class TestCPOP:
+    def test_valid(self, small_random_system):
+        sched = schedule_cpop(small_random_system)
+        validate_schedule(sched)
+
+    def test_downward_ranks_increase_along_edges(self, small_random_system):
+        ranks = downward_ranks(small_random_system)
+        graph = small_random_system.graph
+        for u, v in graph.edges():
+            assert ranks[v] > ranks[u]
+
+    def test_entry_rank_zero(self, paper_system):
+        ranks = downward_ranks(paper_system)
+        assert ranks["T1"] == 0.0
+
+    def test_valid_on_paper_system(self, paper_system):
+        validate_schedule(schedule_cpop(paper_system))
+
+
+class TestNaive:
+    def test_serial_single_processor(self, small_random_system):
+        sched = schedule_serial(small_random_system)
+        validate_schedule(sched)
+        procs = {s.proc for s in sched.slots.values()}
+        assert len(procs) == 1
+        # serial schedule = sum of exec costs on that processor
+        proc = procs.pop()
+        total = sum(
+            small_random_system.exec_cost(t, proc)
+            for t in small_random_system.graph.tasks()
+        )
+        assert sched.schedule_length() == pytest.approx(total)
+
+    def test_serial_picks_fastest_processor(self, small_random_system):
+        sched = schedule_serial(small_random_system)
+        proc = next(iter(sched.slots.values())).proc
+        system = small_random_system
+        totals = [
+            sum(system.exec_cost(t, p) for t in system.graph.tasks())
+            for p in system.topology.processors
+        ]
+        assert totals[proc] == pytest.approx(min(totals))
+
+    def test_round_robin_valid_and_spread(self, small_random_system):
+        sched = schedule_round_robin(small_random_system)
+        validate_schedule(sched)
+        procs = {s.proc for s in sched.slots.values()}
+        assert len(procs) == small_random_system.topology.n_procs
+
+    def test_schedulers_beat_round_robin_usually(self, small_random_system):
+        """Sanity: real schedulers should not lose to naive round-robin."""
+        from repro import schedule_bsa, schedule_dls
+
+        rr = schedule_round_robin(small_random_system).schedule_length()
+        assert schedule_bsa(small_random_system).schedule_length() <= rr * 1.05
+        assert schedule_dls(small_random_system).schedule_length() <= rr * 1.05

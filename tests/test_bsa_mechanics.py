@@ -1,0 +1,122 @@
+"""White-box tests of BSA's decision rules on crafted instances."""
+
+import pytest
+
+from repro import HeterogeneousSystem, Schedule, TaskGraph, chain, ring, settle
+from repro.core.bsa import BSAOptions, BSAScheduler
+from repro.schedule.validator import schedule_violations
+
+
+def _system(graph, topo, table):
+    return HeterogeneousSystem.from_exec_table(graph, topo, table)
+
+
+class TestVIPFollowing:
+    def test_equal_ft_vip_migration_fires(self):
+        """A task whose FT ties on its VIP's processor follows the VIP."""
+        g = TaskGraph(name="uv")
+        g.add_task("u", 10.0)
+        g.add_task("v", 10.0)
+        g.add_edge("u", "v", 0.0)  # free message: FTs tie exactly
+        table = {"u": [10.0, 10.0, 10.0], "v": [10.0, 10.0, 10.0]}
+        system = _system(g, ring(3), table)
+
+        sched = Schedule(system, "handmade")
+        sched.place_task("u", 1, start=0.0)
+        sched.place_task("v", 0, start=10.0)
+        sched.set_route(("u", "v"), [1, 0], hop_starts=[10.0])
+        settle(sched)
+        assert sched.slots["v"].finish == pytest.approx(20.0)
+
+        scheduler = BSAScheduler(system, BSAOptions())
+        scheduler._try_migrate(sched, "v", pivot=0, neighbors=[1, 2])
+        # FT on P1 also 20 (u local) -> no strict improvement, but VIP is
+        # there, so the equal-FT rule moves v to P1
+        assert sched.proc_of("v") == 1
+        assert scheduler.stats.n_vip_migrations == 1
+        assert sched.routes[("u", "v")].is_local
+        assert schedule_violations(sched) == []
+
+    def test_vip_follow_disabled(self):
+        g = TaskGraph(name="uv")
+        g.add_task("u", 10.0)
+        g.add_task("v", 10.0)
+        g.add_edge("u", "v", 0.0)
+        table = {"u": [10.0, 10.0, 10.0], "v": [10.0, 10.0, 10.0]}
+        system = _system(g, ring(3), table)
+        sched = Schedule(system, "handmade")
+        sched.place_task("u", 1, start=0.0)
+        sched.place_task("v", 0, start=10.0)
+        sched.set_route(("u", "v"), [1, 0], hop_starts=[10.0])
+        settle(sched)
+        scheduler = BSAScheduler(system, BSAOptions(vip_follow=False))
+        scheduler._try_migrate(sched, "v", pivot=0, neighbors=[1, 2])
+        assert sched.proc_of("v") == 0  # stays put
+
+
+class TestMigrationChoice:
+    def test_picks_min_ft_neighbor(self):
+        """Among improving neighbors, the smallest finish time wins."""
+        g = TaskGraph(name="single+tail")
+        g.add_task("t", 100.0)
+        g.add_task("tail", 1.0)
+        g.add_edge("t", "tail", 0.5)
+        # pivot will be P0 by CP length (ties -> lowest index); P2 is best
+        table = {"t": [100.0, 60.0, 40.0], "tail": [1.0, 1.0, 1.0]}
+        system = _system(g, ring(3), table)
+        sched = BSAScheduler(system, BSAOptions()).run()
+        assert sched.proc_of("t") == 2
+
+    def test_trigger_st_gt_drt_skips_tight_tasks(self):
+        """With the journal trigger, a task starting at its DRT with its
+        VIP co-located is never examined."""
+        g = TaskGraph(name="chain2")
+        g.add_task("a", 10.0)
+        g.add_task("b", 10.0)
+        g.add_edge("a", "b", 1.0)
+        table = {"a": [10.0, 5.0, 10.0], "b": [10.0, 10.0, 5.0]}
+        system = _system(g, ring(3), table)
+        scheduler = BSAScheduler(
+            system, BSAOptions(migration_trigger="st_gt_drt", n_sweeps=1)
+        )
+        sched = scheduler.run()
+        assert schedule_violations(sched) == []
+        # 'b' sits right behind 'a' on the pivot (ST == DRT, VIP local):
+        # never examined, so it cannot chase its fast processor P2
+        assert sched.proc_of("b") == sched.proc_of("a")
+
+    def test_always_trigger_examines_everything(self):
+        g = TaskGraph(name="chain2")
+        g.add_task("a", 10.0)
+        g.add_task("b", 10.0)
+        g.add_edge("a", "b", 1.0)
+        table = {"a": [10.0, 5.0, 10.0], "b": [10.0, 10.0, 5.0]}
+        system = _system(g, ring(3), table)
+        scheduler = BSAScheduler(system, BSAOptions(n_sweeps=1))
+        scheduler.run()
+        assert scheduler.stats.n_examined >= 2
+
+
+class TestRejectedMigrations:
+    def test_rejection_keeps_schedule_valid(self, small_random_system):
+        """Even when commits are rejected (rolled back), the final schedule
+        is valid and the stats record the rejections."""
+        scheduler = BSAScheduler(small_random_system, BSAOptions())
+        sched = scheduler.run()
+        assert schedule_violations(sched) == []
+        assert scheduler.stats.n_rejected_migrations >= 0  # bookkeeping exists
+
+
+class TestSweepSemantics:
+    def test_best_sweep_kept(self):
+        """If later sweeps worsen the makespan, run() returns the best."""
+        g = TaskGraph(name="pathological")
+        g.add_task("p", 10.0)
+        g.add_task("q", 10.0)
+        g.add_edge("p", "q", 200.0)  # gigantic message: moving p hurts q
+        table = {"p": [10.0, 1.0], "q": [10.0, 10.0]}
+        system = _system(g, chain(2), table)
+        scheduler = BSAScheduler(system, BSAOptions(n_sweeps=3))
+        sched = scheduler.run()
+        assert sched.schedule_length() <= scheduler.stats.serial_length + 1e-9
+        assert schedule_violations(sched) == []

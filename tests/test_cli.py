@@ -1,0 +1,59 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as e:
+            build_parser().parse_args(["--version"])
+        assert e.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_schedule_defaults(self):
+        args = build_parser().parse_args(["schedule"])
+        assert args.algorithm == "bsa"
+        assert args.topology == "hypercube"
+        assert args.size == 100
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "-a", "magic"])
+
+
+class TestCommands:
+    def test_info(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "scale" in out
+
+    def test_example(self, capsys):
+        assert main(["example"]) == 0
+        out = capsys.readouterr().out
+        assert "first pivot" in out
+        assert "P2" in out
+        assert "BSA schedule length" in out
+
+    def test_schedule_small(self, capsys):
+        rc = main([
+            "schedule", "-a", "bsa", "-w", "random", "-n", "25",
+            "-t", "ring", "-p", "4", "--gantt", "--gantt-height", "12",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "SL" in out and "speedup" in out
+        assert "P0" in out  # gantt rendered
+
+    def test_schedule_dls(self, capsys):
+        rc = main([
+            "schedule", "-a", "dls", "-w", "gauss", "-n", "30",
+            "-t", "clique", "-p", "4",
+        ])
+        assert rc == 0
+        assert "DLS" in capsys.readouterr().out

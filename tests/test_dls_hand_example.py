@@ -1,0 +1,75 @@
+"""DLS on a hand-computable instance: verify the dynamic-level formula.
+
+Two identical processors joined by one link; two tasks A(10) -> B(20)
+with message cost 5. By hand:
+
+* static levels (median costs, no comm): SL*(A)=30, SL*(B)=20;
+* step 1: only A ready; DL(A, P0) = 30 - max(0, 0) + 0 = 30 = DL(A, P1);
+  the tie-break picks P0;
+* step 2: B ready. On P0: DA=10 (local), TF=10, start 10, DL = 20-10 = 10.
+  On P1: the message departs at 10, lands at 15, TF=0, start 15,
+  DL = 20-15 = 5. B goes to P0; makespan 30.
+"""
+
+import pytest
+
+from repro import HeterogeneousSystem, TaskGraph, chain, schedule_dls
+from repro.schedule.validator import schedule_violations
+
+
+@pytest.fixture
+def two_proc_system():
+    g = TaskGraph(name="ab")
+    g.add_task("A", 10.0)
+    g.add_task("B", 20.0)
+    g.add_edge("A", "B", 5.0)
+    table = {"A": [10.0, 10.0], "B": [20.0, 20.0]}
+    return HeterogeneousSystem.from_exec_table(g, chain(2), table)
+
+
+class TestHandExample:
+    def test_placements_and_times(self, two_proc_system):
+        sched = schedule_dls(two_proc_system)
+        assert schedule_violations(sched) == []
+        assert sched.proc_of("A") == 0
+        assert sched.proc_of("B") == 0
+        assert sched.slots["A"].start == 0.0
+        assert sched.slots["B"].start == pytest.approx(10.0)
+        assert sched.schedule_length() == pytest.approx(30.0)
+        assert sched.routes[("A", "B")].is_local
+
+    def test_remote_wins_when_local_is_slow(self):
+        """Make P0 slow for B: DLS must ship B across the link."""
+        g = TaskGraph(name="ab2")
+        g.add_task("A", 10.0)
+        g.add_task("B", 20.0)
+        g.add_edge("A", "B", 5.0)
+        table = {"A": [10.0, 10.0], "B": [100.0, 20.0]}
+        system = HeterogeneousSystem.from_exec_table(g, chain(2), table)
+        sched = schedule_dls(system)
+        assert schedule_violations(sched) == []
+        assert sched.proc_of("B") == 1
+        # A finishes 10, message [10, 15), B runs [15, 35)
+        hop = sched.routes[("A", "B")].hops[0]
+        assert hop.start == pytest.approx(10.0)
+        assert hop.finish == pytest.approx(15.0)
+        assert sched.slots["B"].start == pytest.approx(15.0)
+        assert sched.schedule_length() == pytest.approx(35.0)
+
+    def test_link_contention_serializes_siblings(self):
+        """Two messages over the same link cannot overlap."""
+        g = TaskGraph(name="fan")
+        g.add_task("S", 10.0)
+        g.add_task("X", 50.0)
+        g.add_task("Y", 50.0)
+        g.add_edge("S", "X", 30.0)
+        g.add_edge("S", "Y", 30.0)
+        # P1 is far faster for X and Y, so DLS ships both
+        table = {"S": [10.0, 10.0], "X": [500.0, 50.0], "Y": [500.0, 50.0]}
+        system = HeterogeneousSystem.from_exec_table(g, chain(2), table)
+        sched = schedule_dls(system)
+        assert schedule_violations(sched) == []
+        assert sched.proc_of("X") == 1 and sched.proc_of("Y") == 1
+        hops = sorted(sched.link_order[(0, 1)], key=lambda h: h.start)
+        assert len(hops) == 2
+        assert hops[1].start >= hops[0].finish - 1e-9  # serialized, not parallel

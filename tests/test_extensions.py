@@ -1,0 +1,189 @@
+"""Tests for extension features: E-cube routing, FFT/fork-join workloads,
+schedule IO, and critical-chain analysis."""
+
+import pytest
+
+from repro import (
+    HeterogeneousSystem,
+    RoutingTable,
+    chain_breakdown,
+    critical_chain,
+    ecube_path,
+    fft_butterfly,
+    fork_join,
+    hypercube,
+    ring,
+    schedule_bsa,
+    schedule_dls,
+    schedule_from_json,
+    schedule_to_json,
+    validate_graph,
+    validate_schedule,
+)
+from repro.errors import RoutingError, SchedulingError, WorkloadError
+from repro.schedule.io import schedule_from_dict, schedule_to_dict
+from repro.schedule.validator import schedule_violations
+from repro.workloads.fft import fft_size
+from repro.workloads.forkjoin import forkjoin_size
+
+
+class TestEcubeRouting:
+    def test_path_corrects_bits_lsb_first(self):
+        topo = hypercube(8)
+        assert ecube_path(topo, 0b000, 0b101) == [0b000, 0b001, 0b101]
+        assert ecube_path(topo, 0b111, 0b000) == [0b111, 0b110, 0b100, 0b000]
+
+    def test_path_length_is_popcount(self):
+        topo = hypercube(16)
+        for src in range(16):
+            for dst in range(16):
+                path = ecube_path(topo, src, dst)
+                assert len(path) - 1 == bin(src ^ dst).count("1")
+                for a, b in zip(path, path[1:]):
+                    assert topo.has_link(a, b)
+
+    def test_same_node(self):
+        assert ecube_path(hypercube(4), 2, 2) == [2]
+
+    def test_non_hypercube_rejected(self):
+        with pytest.raises(RoutingError):
+            ecube_path(ring(8), 0, 3)
+
+    def test_table_strategy(self):
+        table = RoutingTable(hypercube(8), strategy="ecube")
+        assert table.path(0, 5) == [0, 1, 5]
+        # deterministic dimension order differs from BFS tie-breaks only
+        # in route choice, never in length
+        bfs = RoutingTable(hypercube(8))
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert table.hop_distance(a, b) == bfs.hop_distance(a, b)
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingTable(hypercube(4), strategy="warp")
+
+    def test_ecube_on_ring_rejected(self):
+        with pytest.raises(RoutingError):
+            RoutingTable(ring(8), strategy="ecube")
+
+
+class TestFFTWorkload:
+    def test_structure(self):
+        g = fft_butterfly(8)
+        validate_graph(g)
+        assert g.n_tasks == fft_size(8) == 32
+        # every non-entry task has exactly two inputs (self + partner)
+        for s in range(1, 4):
+            for i in range(8):
+                assert g.in_degree(("F", s, i)) == 2
+
+    def test_entry_exit_counts(self):
+        g = fft_butterfly(4)
+        assert len(g.sources()) == 4
+        assert len(g.sinks()) == 4
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(WorkloadError):
+            fft_butterfly(6)
+        with pytest.raises(WorkloadError):
+            fft_size(0)
+
+    def test_schedulable(self):
+        g = fft_butterfly(8)
+        system = HeterogeneousSystem.sample(g, hypercube(4), het_range=(1, 5), seed=0)
+        validate_schedule(schedule_bsa(system))
+
+
+class TestForkJoinWorkload:
+    def test_structure(self):
+        g = fork_join(3, 5)
+        validate_graph(g)
+        assert g.n_tasks == forkjoin_size(3, 5) == 3 * 7 + 1
+        assert g.out_degree(("F", 1)) == 5
+        assert g.in_degree(("J", 1)) == 5
+
+    def test_single_section(self):
+        g = fork_join(1, 2)
+        assert g.sources() == [("J", 0)]
+        assert g.sinks() == [("J", 1)]
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(WorkloadError):
+            fork_join(0, 3)
+        with pytest.raises(WorkloadError):
+            forkjoin_size(2, 0)
+
+    def test_schedulable(self):
+        g = fork_join(2, 6)
+        system = HeterogeneousSystem.sample(g, ring(4), het_range=(1, 5), seed=1)
+        validate_schedule(schedule_dls(system))
+
+
+class TestScheduleIO:
+    def test_round_trip(self, small_random_system):
+        sched = schedule_bsa(small_random_system)
+        text = schedule_to_json(sched)
+        back = schedule_from_json(text, small_random_system)
+        assert schedule_violations(back) == []
+        assert back.schedule_length() == pytest.approx(sched.schedule_length())
+        assert {t: s.proc for t, s in back.slots.items()} == {
+            t: s.proc for t, s in sched.slots.items()
+        }
+
+    def test_dict_contains_summary(self, paper_system):
+        sched = schedule_bsa(paper_system)
+        data = schedule_to_dict(sched)
+        assert data["algorithm"] == "BSA"
+        assert data["schedule_length"] == pytest.approx(sched.schedule_length())
+        assert len(data["tasks"]) == 9
+        assert len(data["messages"]) == 12
+
+    def test_bad_version_rejected(self, paper_system):
+        sched = schedule_bsa(paper_system)
+        data = schedule_to_dict(sched)
+        data["version"] = 99
+        with pytest.raises(SchedulingError):
+            schedule_from_dict(data, paper_system)
+
+    def test_unknown_task_rejected(self, paper_system):
+        sched = schedule_bsa(paper_system)
+        data = schedule_to_dict(sched)
+        data["tasks"][0]["task"] = "'T99'"
+        with pytest.raises(SchedulingError):
+            schedule_from_dict(data, paper_system)
+
+
+class TestCriticalChain:
+    def test_chain_ends_at_makespan(self, small_random_system):
+        sched = schedule_bsa(small_random_system)
+        chain = critical_chain(sched)
+        assert chain[-1].finish == pytest.approx(sched.schedule_length())
+
+    def test_chain_is_connected_and_causal(self, small_random_system):
+        sched = schedule_dls(small_random_system)
+        graph = small_random_system.graph
+        chain = critical_chain(sched)
+        for earlier, later in zip(chain, chain[1:]):
+            assert later.via_message == earlier.task
+            assert graph.has_edge(earlier.task, later.task)
+            assert later.start >= earlier.finish - 1e-9
+
+    def test_chain_starts_at_entry(self, small_random_system):
+        chain = critical_chain(schedule_bsa(small_random_system))
+        assert chain[0].via_message is None
+        assert chain[0].drt == 0.0
+
+    def test_breakdown_accounts_for_makespan(self, small_random_system):
+        sched = schedule_bsa(small_random_system)
+        bd = chain_breakdown(sched)
+        total = bd.exec_time + bd.message_wait + bd.queue_wait
+        assert total == pytest.approx(bd.schedule_length, rel=1e-6)
+        assert 0 <= bd.exec_fraction <= 1
+        assert 0 <= bd.comm_fraction <= 1
+
+    def test_empty_schedule(self, paper_system):
+        from repro.schedule.schedule import Schedule
+
+        assert critical_chain(Schedule(paper_system)) == []

@@ -1,0 +1,67 @@
+"""Tests for ASCII rendering (Gantt charts and report tables)."""
+
+from repro import render_gantt, schedule_bsa
+from repro.schedule.schedule import Schedule
+from repro.util.tables import format_series, format_table
+
+
+class TestGantt:
+    def test_empty_schedule(self, paper_system):
+        assert render_gantt(Schedule(paper_system)) == "(empty schedule)"
+
+    def test_all_columns_present(self, paper_system):
+        sched = schedule_bsa(paper_system)
+        out = render_gantt(sched)
+        for p in range(4):
+            assert f"P{p}" in out
+        for l in paper_system.topology.links:
+            assert f"L{l[0]}-{l[1]}" in out
+        assert "schedule length" in out
+
+    def test_tasks_appear(self, paper_system):
+        sched = schedule_bsa(paper_system)
+        out = render_gantt(sched, col_width=7)
+        # every task label shows up somewhere
+        for t in paper_system.graph.tasks():
+            assert t in out
+
+    def test_links_hidden(self, paper_system):
+        sched = schedule_bsa(paper_system)
+        out = render_gantt(sched, show_links=False)
+        assert "L0-1" not in out
+
+    def test_row_count_matches_height(self, paper_system):
+        sched = schedule_bsa(paper_system)
+        out = render_gantt(sched, height=10)
+        # header + separator + 11 time rows + separator + footer
+        assert len(out.splitlines()) == 15
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        out = format_table(["name", "value"], [["a", 1.0], ["bb", 22.5]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, two rows
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_format_table_title(self):
+        out = format_table(["x"], [[1]], title="My Table")
+        assert out.startswith("My Table")
+
+    def test_none_rendered_as_dash(self):
+        out = format_table(["x"], [[None]])
+        assert "-" in out.splitlines()[-1]
+
+    def test_format_series_with_ratio(self):
+        out = format_series(
+            "size", [50, 100],
+            {"dls": [100.0, 200.0], "bsa": [80.0, 150.0]},
+            ratio_of=("bsa", "dls"),
+        )
+        assert "bsa/dls" in out
+        assert "0.800" in out
+        assert "0.750" in out
+
+    def test_format_series_plain(self):
+        out = format_series("g", [0.1, 1.0], {"only": [5.0, 6.0]})
+        assert "only" in out and "0.1" in out

@@ -1,0 +1,80 @@
+"""Tests for graph serialization and interop."""
+
+import pytest
+
+from repro import TaskGraph
+from repro.errors import GraphError
+from repro.graph.io import (
+    from_networkx,
+    graph_from_dict,
+    graph_from_json,
+    graph_to_dict,
+    graph_to_json,
+    to_dot,
+    to_networkx,
+)
+
+
+class TestDictRoundTrip:
+    def test_round_trip_str_ids(self, diamond):
+        back = graph_from_dict(graph_to_dict(diamond))
+        assert back.tasks() == diamond.tasks()
+        assert back.edges() == diamond.edges()
+        assert back.cost("b") == diamond.cost("b")
+        assert back.comm_cost("a", "c") == diamond.comm_cost("a", "c")
+
+    def test_round_trip_int_ids(self):
+        g = TaskGraph(name="ints")
+        g.add_task(1, 5.0)
+        g.add_task(2, 6.0)
+        g.add_edge(1, 2, 3.0)
+        back = graph_from_dict(graph_to_dict(g))
+        assert back.tasks() == [1, 2]
+        assert back.comm_cost(1, 2) == 3.0
+
+    def test_json_round_trip(self, chain3):
+        back = graph_from_json(graph_to_json(chain3))
+        assert back.edges() == chain3.edges()
+
+    def test_bad_version_rejected(self, chain3):
+        data = graph_to_dict(chain3)
+        data["version"] = 999
+        with pytest.raises(GraphError):
+            graph_from_dict(data)
+
+
+class TestNetworkxInterop:
+    def test_round_trip(self, diamond):
+        nxg = to_networkx(diamond)
+        assert nxg.number_of_nodes() == 4
+        assert nxg.number_of_edges() == 4
+        back = from_networkx(nxg)
+        assert set(back.tasks()) == set(diamond.tasks())
+        assert back.comm_cost("b", "d") == 25.0
+
+    def test_from_networkx_weight_fallback(self):
+        import networkx as nx
+
+        nxg = nx.DiGraph()
+        nxg.add_node("a", weight=3.0)
+        nxg.add_node("b", weight=4.0)
+        nxg.add_edge("a", "b", weight=2.0)
+        g = from_networkx(nxg)
+        assert g.cost("a") == 3.0
+        assert g.comm_cost("a", "b") == 2.0
+
+    def test_from_networkx_missing_cost_rejected(self):
+        import networkx as nx
+
+        nxg = nx.DiGraph()
+        nxg.add_node("a")
+        with pytest.raises(GraphError):
+            from_networkx(nxg)
+
+
+class TestDot:
+    def test_dot_contains_nodes_and_edges(self, chain3):
+        dot = to_dot(chain3)
+        assert dot.startswith("digraph")
+        assert '"x" -> "y"' in dot
+        assert dot.count("->") == chain3.n_edges

@@ -1,0 +1,39 @@
+"""Tests for CP / IB / OB task classification."""
+
+from repro import TaskClass, classify_tasks, critical_path
+from repro.experiments.paper_example import build_figure1_graph
+
+
+class TestClassification:
+    def test_diamond(self, diamond):
+        cp = critical_path(diamond)  # a, c, d (CP tie broken by exec sum)
+        classes = classify_tasks(diamond, cp)
+        assert classes["a"] is TaskClass.CP
+        assert classes["c"] is TaskClass.CP
+        assert classes["d"] is TaskClass.CP
+        assert classes["b"] is TaskClass.IB  # ancestor of d, not on CP
+
+    def test_paper_graph_nominal(self):
+        g = build_figure1_graph()
+        cp = critical_path(g)
+        assert cp == ["T1", "T7", "T9"]
+        classes = classify_tasks(g, cp)
+        cps = {t for t, c in classes.items() if c is TaskClass.CP}
+        ibs = {t for t, c in classes.items() if c is TaskClass.IB}
+        obs = {t for t, c in classes.items() if c is TaskClass.OB}
+        assert cps == {"T1", "T7", "T9"}
+        # every other task except T5 feeds the CP
+        assert ibs == {"T2", "T3", "T4", "T6", "T8"}
+        assert obs == {"T5"}  # the paper: "The only OB task, T5"
+
+    def test_all_tasks_classified(self, diamond):
+        classes = classify_tasks(diamond, critical_path(diamond))
+        assert set(classes) == set(diamond.tasks())
+
+    def test_ob_has_no_cp_descendants(self, paper_graph):
+        cp = critical_path(paper_graph)
+        classes = classify_tasks(paper_graph, cp)
+        cp_set = set(cp)
+        for t, cls in classes.items():
+            if cls is TaskClass.OB:
+                assert not (paper_graph.descendants(t) & cp_set)

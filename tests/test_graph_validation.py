@@ -1,0 +1,53 @@
+"""Tests for structural graph validation."""
+
+import pytest
+
+from repro import TaskGraph, validate_graph
+from repro.errors import CycleError, DisconnectedGraphError, GraphError
+from repro.graph.validation import check_connected, check_dag
+
+
+class TestValidation:
+    def test_valid_graph_passes(self, diamond):
+        validate_graph(diamond)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            validate_graph(TaskGraph())
+
+    def test_single_task_ok(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        validate_graph(g)
+
+    def test_disconnected_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        g.add_task("c", 1.0)
+        g.add_edge("a", "b", 1.0)
+        with pytest.raises(DisconnectedGraphError):
+            check_connected(g)
+        with pytest.raises(DisconnectedGraphError):
+            validate_graph(g)
+        validate_graph(g, require_connected=False)
+
+    def test_cycle_rejected(self):
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        g.add_edge("a", "b", 1.0)
+        g._succ["b"]["a"] = 1.0  # forge a cycle
+        g._pred["a"]["b"] = 1.0
+        with pytest.raises(CycleError):
+            check_dag(g)
+
+    def test_connected_via_reverse_edges(self):
+        # weakly connected even though not strongly connected
+        g = TaskGraph()
+        g.add_task("a", 1.0)
+        g.add_task("b", 1.0)
+        g.add_task("c", 1.0)
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("c", "b", 1.0)
+        check_connected(g)

@@ -1,0 +1,124 @@
+"""Tests for migration evaluation and commitment."""
+
+import pytest
+
+from repro import Schedule, settle, validate_schedule
+from repro.core.migration import (
+    commit_migration,
+    current_drt_vip,
+    evaluate_migration,
+)
+from repro.core.serialization import serial_injection
+from repro.errors import SchedulingError
+
+
+class TestCurrentDrtVip:
+    def test_entry_task(self, paper_system):
+        _, sched = serial_injection(paper_system)
+        drt, vip = current_drt_vip(sched, "T1")
+        assert drt == 0.0 and vip is None
+
+    def test_serialized_drt_is_producer_finish(self, paper_system):
+        _, sched = serial_injection(paper_system)
+        drt, vip = current_drt_vip(sched, "T9")
+        # all preds local on the pivot: DRT = max predecessor finish
+        finishes = {
+            k: sched.slots[k].finish
+            for k in paper_system.graph.predecessors("T9")
+        }
+        assert drt == pytest.approx(max(finishes.values()))
+        assert vip == max(finishes, key=finishes.get)
+
+
+class TestEvaluate:
+    def test_same_proc_rejected(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        with pytest.raises(SchedulingError):
+            evaluate_migration(sched, "T1", sel.pivot)
+
+    def test_entry_task_eval(self, paper_system):
+        sel, sched = serial_injection(paper_system)  # pivot P2 (index 1)
+        plan = evaluate_migration(sched, "T1", 0)
+        assert plan.drt == 0.0
+        assert plan.st == 0.0
+        assert plan.ft == pytest.approx(paper_system.exec_cost("T1", 0))
+        assert plan.vip is None
+
+    def test_eval_does_not_mutate(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        before_sl = sched.schedule_length()
+        before_hops = sum(len(h) for h in sched.link_order.values())
+        evaluate_migration(sched, "T9", 0)
+        assert sched.schedule_length() == before_sl
+        assert sum(len(h) for h in sched.link_order.values()) == before_hops
+
+    def test_downstream_task_includes_message_cost(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        plan = evaluate_migration(sched, "T9", 2, route_mode="shortest")
+        # T9's messages must cross at least one link: DRT > 0
+        assert plan.drt > 0
+        assert plan.ft == plan.st + paper_system.exec_cost("T9", 2)
+        kinds = {p.kind for p in plan.in_plans.values()}
+        assert "rebuild" in kinds
+
+    def test_incremental_extend_kind(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        plan = evaluate_migration(sched, "T9", 2, route_mode="incremental")
+        assert all(p.kind == "extend" for p in plan.in_plans.values())
+        # every in-path is pivot -> neighbor
+        for p in plan.in_plans.values():
+            assert p.path == [sel.pivot, 2]
+
+
+class TestCommit:
+    def test_commit_moves_task_and_stays_valid(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        plan = evaluate_migration(sched, "T5", 3)
+        commit_migration(sched, plan)
+        assert sched.proc_of("T5") == 3
+        validate_schedule(sched)
+
+    def test_commit_improves_or_matches_plan(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        plan = evaluate_migration(sched, "T1", 2)
+        commit_migration(sched, plan)
+        # settle may bubble things up but never past the planned finish
+        assert sched.slots["T1"].finish <= plan.ft + 1e-9
+
+    def test_stale_plan_rejected(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        plan_a = evaluate_migration(sched, "T5", 3)
+        plan_b = evaluate_migration(sched, "T5", 0)
+        commit_migration(sched, plan_a)
+        with pytest.raises(SchedulingError):
+            commit_migration(sched, plan_b)
+
+    def test_roundtrip_migration_restores_locality(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        edge_count = lambda: sum(
+            1 for r in sched.routes.values() if not r.is_local
+        )
+        assert edge_count() == 0
+        plan = evaluate_migration(sched, "T5", 3)
+        commit_migration(sched, plan)
+        assert edge_count() == 1  # T1 -> T5 crosses processors
+        back = evaluate_migration(sched, "T5", sel.pivot)
+        commit_migration(sched, back)
+        assert edge_count() == 0  # local again
+        validate_schedule(sched)
+
+    def test_bubble_up_after_migration(self, homogeneous_system):
+        """Removing a slot lets later tasks on the same processor bubble up."""
+        s = Schedule(homogeneous_system)
+        # P0 runs a, c, b back-to-back (b only needs a, but queues behind c)
+        for t in ["a", "c", "b", "d"]:
+            s.place_task(t, 0, start=0.0, position=len(s.proc_order[0]))
+        for e in homogeneous_system.graph.edges():
+            s.mark_local(e)
+        settle(s)
+        assert s.slots["b"].start == pytest.approx(40.0)  # a(10) + c(30)
+        plan = evaluate_migration(s, "c", 1)
+        commit_migration(s, plan)
+        # with c gone, b starts right after its producer a
+        assert s.slots["b"].start == pytest.approx(10.0)
+        validate_schedule(s)

@@ -1,0 +1,114 @@
+"""End-to-end checks of the paper's worked example (§2.2, §2.4, Table 1).
+
+These tests pin every number our reconstruction reproduces exactly and
+document (in assertions) the divergences caused by the paper's own
+internal inconsistencies — see EXPERIMENTS.md for the arithmetic.
+"""
+
+import pytest
+
+from repro import (
+    b_levels,
+    cp_length,
+    critical_path,
+    schedule_bsa,
+    t_levels,
+    validate_schedule,
+)
+from repro.core.bsa import BSAOptions
+from repro.experiments.paper_example import (
+    FIGURE1_EDGES,
+    FIGURE1_TASKS,
+    TABLE1_EXEC_COSTS,
+    build_figure1_graph,
+    build_paper_system,
+    run_paper_example,
+)
+
+
+class TestFigure1Reconstruction:
+    def test_structure(self, paper_graph):
+        assert paper_graph.n_tasks == 9
+        assert paper_graph.n_edges == 12
+        # comm-cost multiset from the figure: {100, 60, 50, 50, 20, 10 x 7}
+        costs = sorted(
+            paper_graph.comm_cost(u, v) for u, v in paper_graph.edges()
+        )
+        assert costs == [10, 10, 10, 10, 10, 10, 10, 20, 50, 50, 60, 100]
+
+    def test_nominal_critical_path(self, paper_graph):
+        assert critical_path(paper_graph) == ["T1", "T7", "T9"]
+        assert cp_length(paper_graph) == 250
+
+    def test_narrative_level_constraints(self, paper_graph):
+        bl, tl = b_levels(paper_graph), t_levels(paper_graph)
+        # "both T6 and T8 have the same value of b-level"
+        assert bl["T6"] == bl["T8"]
+        # T4 serialized before T3 => larger b-level
+        assert bl["T4"] > bl["T3"]
+
+    def test_t5_is_sink(self, paper_graph):
+        assert paper_graph.successors("T5") == []
+
+
+class TestTable1:
+    def test_all_costs_recorded(self):
+        assert len(TABLE1_EXEC_COSTS) == 9
+        assert all(len(row) == 4 for row in TABLE1_EXEC_COSTS.values())
+
+    def test_cp_lengths_per_processor(self, paper_system):
+        lengths = [
+            cp_length(paper_system.graph, paper_system.exec_cost_fn(p))
+            for p in range(4)
+        ]
+        # paper publishes (240, 226, 235, 260); 240 and 226 match exactly.
+        # 235/260 are unreachable under any assignment of Table 1 costs —
+        # our reconstruction yields 228/246 (see EXPERIMENTS.md).
+        assert [round(x) for x in lengths] == [240, 226, 228, 246]
+
+    def test_pivot_is_p2_as_published(self, paper_system):
+        from repro import select_pivot
+
+        assert select_pivot(paper_system).pivot == 1
+
+
+class TestWorkedExample:
+    def test_full_run(self):
+        result = run_paper_example()
+        assert result["selection"].pivot == 1
+        # serialized program on P2 = sum of column P2 of Table 1 = 238
+        assert result["serial_schedule_length"] == pytest.approx(238.0)
+        sl = result["metrics"].schedule_length
+        # BSA must improve substantially on serialization (paper reports 138
+        # in its lenient model; our strict contention model gives ~165-190
+        # depending on options — assert the qualitative claim).
+        assert sl < 238.0
+        assert sl <= 200.0
+        validate_schedule(result["schedule"])
+
+    def test_gantt_renders(self):
+        result = run_paper_example()
+        gantt = result["gantt"]
+        assert "P0" in gantt and "L0-1" in gantt
+        assert "schedule length" in gantt
+
+    def test_homogeneous_links(self, paper_system):
+        for (u, v, _) in FIGURE1_EDGES:
+            for link in paper_system.topology.links:
+                assert paper_system.link_factor((u, v), link) == 1.0
+
+    def test_bsa_beats_dls_on_example(self, paper_system):
+        from repro import schedule_dls
+
+        bsa = schedule_bsa(paper_system)
+        dls = schedule_dls(paper_system)
+        assert bsa.schedule_length() < dls.schedule_length()
+
+
+class TestNominalCosts:
+    def test_task_costs(self, paper_graph):
+        for task, cost in FIGURE1_TASKS.items():
+            assert paper_graph.cost(task) == cost
+
+    def test_mean_exec_cost(self, paper_graph):
+        assert paper_graph.mean_exec_cost() == pytest.approx(320 / 9)

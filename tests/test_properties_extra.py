@@ -1,0 +1,133 @@
+"""Second batch of hypothesis properties: IO round-trips, extra scheduler
+validity, settle idempotence, and serialization classification laws."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    HeterogeneousSystem,
+    TaskClass,
+    classify_tasks,
+    clique,
+    critical_path,
+    hypercube,
+    ring,
+    schedule_bsa,
+    schedule_cpop,
+    schedule_heft,
+    serialize,
+    settle,
+)
+from repro.core.bsa import BSAOptions
+from repro.graph.io import graph_from_json, graph_to_json
+from repro.schedule.io import schedule_from_dict, schedule_to_dict
+from repro.schedule.validator import schedule_violations
+from repro.workloads.granularity import apply_granularity
+from repro.workloads.random_graphs import random_layered_graph
+
+slow = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+graph_params = st.tuples(
+    st.integers(min_value=2, max_value=24),
+    st.integers(min_value=0, max_value=5_000),
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=graph_params)
+def test_graph_json_round_trip(params):
+    n, seed = params
+    graph = random_layered_graph(n, seed=seed)
+    back = graph_from_json(graph_to_json(graph))
+    assert back.tasks() == graph.tasks()
+    assert back.edges() == graph.edges()
+    for t in graph.tasks():
+        assert back.cost(t) == graph.cost(t)
+    for u, v in graph.edges():
+        assert back.comm_cost(u, v) == graph.comm_cost(u, v)
+
+
+@slow
+@given(params=graph_params)
+def test_schedule_io_round_trip_property(params):
+    n, seed = params
+    graph = random_layered_graph(n, seed=seed)
+    apply_granularity(graph, 1.0, seed=seed)
+    system = HeterogeneousSystem.sample(graph, ring(4), het_range=(1, 10), seed=seed)
+    sched = schedule_bsa(system, BSAOptions(n_sweeps=1))
+    back = schedule_from_dict(schedule_to_dict(sched), system)
+    assert schedule_violations(back) == []
+    assert back.schedule_length() == pytest.approx(sched.schedule_length())
+
+
+@slow
+@given(params=graph_params, topo=st.sampled_from(["ring", "hypercube", "clique"]))
+def test_heft_cpop_always_valid(params, topo):
+    n, seed = params
+    graph = random_layered_graph(n, seed=seed)
+    apply_granularity(graph, 1.0, seed=seed)
+    topology = {"ring": ring(4), "hypercube": hypercube(4), "clique": clique(4)}[topo]
+    system = HeterogeneousSystem.sample(graph, topology, het_range=(1, 20), seed=seed)
+    assert schedule_violations(schedule_heft(system)) == []
+    assert schedule_violations(schedule_cpop(system)) == []
+
+
+@slow
+@given(params=graph_params)
+def test_settle_idempotent_property(params):
+    n, seed = params
+    graph = random_layered_graph(n, seed=seed)
+    apply_granularity(graph, 1.0, seed=seed)
+    system = HeterogeneousSystem.sample(graph, ring(4), het_range=(1, 10), seed=seed)
+    sched = schedule_bsa(system, BSAOptions(n_sweeps=1))
+    snapshot = {t: (s.start, s.finish) for t, s in sched.slots.items()}
+    settle(sched)
+    assert snapshot == {t: (s.start, s.finish) for t, s in sched.slots.items()}
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=graph_params)
+def test_classification_laws(params):
+    """CP tasks form a path; IB tasks are CP ancestors; OB tasks are not."""
+    n, seed = params
+    graph = random_layered_graph(n, seed=seed)
+    cp = critical_path(graph)
+    classes = classify_tasks(graph, cp)
+    cp_set = set(cp)
+    for t, cls in classes.items():
+        is_ancestor = bool(graph.descendants(t) & cp_set)
+        if cls is TaskClass.CP:
+            assert t in cp_set
+        elif cls is TaskClass.IB:
+            assert t not in cp_set and is_ancestor
+        else:
+            assert t not in cp_set and not is_ancestor
+
+
+@settings(max_examples=50, deadline=None)
+@given(params=graph_params, proc_seed=st.integers(0, 100))
+def test_serialization_cp_first_property(params, proc_seed):
+    """CP tasks appear in CP order, and nothing that is not an ancestor of
+    a CP task precedes that CP task unnecessarily... at minimum: the first
+    task of the order is the CP entry task."""
+    n, seed = params
+    graph = random_layered_graph(n, seed=seed)
+    order = serialize(graph)
+    cp = critical_path(graph)
+    positions = {t: i for i, t in enumerate(order)}
+    # CP tasks keep their relative order
+    assert [t for t in order if t in set(cp)] == cp
+    # the serial order starts with the CP's entry task
+    assert order[0] == cp[0]
+    # every task before a CP task is one of its ancestors or an earlier
+    # CP task's ancestor — i.e. never an out-branch task
+    classes = classify_tasks(graph, cp)
+    last_cp_pos = positions[cp[-1]]
+    for t, i in positions.items():
+        if i < last_cp_pos and classes[t] is TaskClass.OB:
+            pytest.fail(f"OB task {t} serialized before the last CP task")

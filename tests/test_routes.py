@@ -1,0 +1,80 @@
+"""Tests for incremental route algebra (extension / truncation / locality)."""
+
+import pytest
+
+from repro.core.routes import new_incoming_path, new_outgoing_path
+from repro.errors import RoutingError
+
+
+class TestIncomingPaths:
+    def test_local_message_extends_to_one_hop(self):
+        # producer and consumer both on A=0; consumer moves to B=1
+        assert new_incoming_path(None, 0, 0, 1) == [0, 1]
+
+    def test_becomes_local(self):
+        # producer already on B: message becomes local
+        assert new_incoming_path([1, 0], 1, 0, 1) is None
+
+    def test_extension(self):
+        # route 2 -> 0, consumer moves 0 -> 1
+        assert new_incoming_path([2, 0], 2, 0, 1) == [2, 0, 1]
+
+    def test_truncation_at_revisit(self):
+        # route passes through B=1 already: 2 -> 1 -> 0; truncate at 1
+        assert new_incoming_path([2, 1, 0], 2, 0, 1) == [2, 1]
+
+    def test_truncation_at_last_visit(self):
+        # B=1 appears twice: truncate at the *last* occurrence
+        path = [2, 1, 3, 1, 0]
+        assert new_incoming_path(path, 2, 0, 1) == [2, 1, 3, 1]
+
+    def test_truncation_disabled(self):
+        assert new_incoming_path([2, 1, 0], 2, 0, 1, truncate=False) == [2, 1, 0, 1]
+
+    def test_path_must_end_at_consumer(self):
+        with pytest.raises(RoutingError):
+            new_incoming_path([2, 3], 2, 0, 1)
+
+    def test_path_must_start_at_producer(self):
+        with pytest.raises(RoutingError):
+            new_incoming_path([2, 0], 9, 0, 1)
+
+
+class TestOutgoingPaths:
+    def test_local_message_prepends(self):
+        # producer and consumer both on A=0; producer moves to B=1
+        assert new_outgoing_path(None, 0, 0, 1) == [1, 0]
+
+    def test_becomes_local(self):
+        # consumer already on B: message becomes local
+        assert new_outgoing_path([0, 1], 1, 0, 1) is None
+
+    def test_prepension(self):
+        assert new_outgoing_path([0, 2], 2, 0, 1) == [1, 0, 2]
+
+    def test_truncation_at_revisit(self):
+        # old route 0 -> 1 -> 2; producer moves to 1: drop the front
+        assert new_outgoing_path([0, 1, 2], 2, 0, 1) == [1, 2]
+
+    def test_truncation_at_first_visit(self):
+        path = [0, 1, 3, 1, 2]
+        assert new_outgoing_path(path, 2, 0, 1) == [1, 3, 1, 2]
+
+    def test_truncation_disabled(self):
+        assert new_outgoing_path([0, 1, 2], 2, 0, 1, truncate=False) == [1, 0, 1, 2]
+
+    def test_path_must_start_at_producer(self):
+        with pytest.raises(RoutingError):
+            new_outgoing_path([5, 2], 2, 0, 1)
+
+    def test_path_must_end_at_consumer(self):
+        with pytest.raises(RoutingError):
+            new_outgoing_path([0, 2], 7, 0, 1)
+
+
+class TestSymmetry:
+    def test_round_trip_is_identity_with_truncation(self):
+        # moving 0 -> 1 then 1 -> 0 restores the original route
+        out = new_incoming_path([2, 0], 2, 0, 1)        # [2, 0, 1]
+        back = new_incoming_path(out, 2, 1, 0)           # truncate at 0
+        assert back == [2, 0]

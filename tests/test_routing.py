@@ -1,0 +1,72 @@
+"""Tests for BFS routing tables."""
+
+import pytest
+
+from repro import RoutingTable, clique, hypercube, ring
+from repro.errors import RoutingError
+from repro.network.routing import shortest_path
+from repro.network.topology import random_topology
+
+
+class TestRoutingTable:
+    def test_ring_paths(self):
+        table = RoutingTable(ring(8))
+        assert table.path(0, 0) == [0]
+        assert table.path(0, 2) == [0, 1, 2]
+        assert table.hop_distance(0, 4) == 4
+        # the short way around
+        assert table.path(0, 6) == [0, 7, 6]
+
+    def test_clique_one_hop(self):
+        table = RoutingTable(clique(6))
+        for a in range(6):
+            for b in range(6):
+                if a != b:
+                    assert table.path(a, b) == [a, b]
+
+    def test_hypercube_distance_is_popcount(self):
+        table = RoutingTable(hypercube(16))
+        for a in range(16):
+            for b in range(16):
+                if a != b:
+                    assert table.hop_distance(a, b) == bin(a ^ b).count("1")
+
+    def test_links_on_path(self):
+        table = RoutingTable(ring(6))
+        assert table.links_on_path(0, 2) == [(0, 1), (1, 2)]
+
+    def test_next_hop_self_rejected(self):
+        table = RoutingTable(ring(4))
+        with pytest.raises(RoutingError):
+            table.next_hop(1, 1)
+
+    def test_paths_are_shortest_on_random_topologies(self):
+        for seed in range(3):
+            topo = random_topology(12, 2, 5, seed=seed)
+            table = RoutingTable(topo)
+            for a in topo.processors:
+                for b in topo.processors:
+                    if a == b:
+                        continue
+                    assert table.hop_distance(a, b) == len(shortest_path(topo, a, b)) - 1
+
+    def test_deterministic(self):
+        t1 = RoutingTable(ring(8))
+        t2 = RoutingTable(ring(8))
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert t1.path(a, b) == t2.path(a, b)
+
+
+class TestShortestPath:
+    def test_endpoints(self):
+        topo = hypercube(8)
+        path = shortest_path(topo, 0, 7)
+        assert path[0] == 0 and path[-1] == 7
+        assert len(path) == 4  # 3 hops
+        for a, b in zip(path, path[1:]):
+            assert topo.has_link(a, b)
+
+    def test_same_node(self):
+        assert shortest_path(ring(4), 2, 2) == [2]

@@ -1,0 +1,98 @@
+"""Tests for pivot selection and CP-driven serialization (paper §2.2)."""
+
+import pytest
+
+from repro import HeterogeneousSystem, TaskGraph, ring, select_pivot, serialize
+from repro.core.serialization import serial_injection
+from repro.graph.analysis import GraphAnalysis
+
+
+class TestSerializeBasics:
+    def test_serial_order_is_topological(self, diamond):
+        order = serialize(diamond)
+        assert diamond.is_topological(order)
+
+    def test_all_tasks_once(self, paper_graph):
+        order = serialize(paper_graph)
+        assert sorted(order) == sorted(paper_graph.tasks())
+
+    def test_single_task(self):
+        g = TaskGraph()
+        g.add_task("only", 3.0)
+        assert serialize(g) == ["only"]
+
+    def test_cp_tasks_early(self, chain3):
+        # pure chain: serial order is the chain itself
+        assert serialize(chain3) == ["x", "y", "z"]
+
+    def test_ob_tasks_last_by_blevel(self):
+        g = TaskGraph()
+        g.add_task("a", 10.0)
+        g.add_task("cp2", 50.0)
+        g.add_task("ob_big", 40.0)
+        g.add_task("ob_small", 5.0)
+        g.add_edge("a", "cp2", 10.0)
+        g.add_edge("a", "ob_big", 1.0)
+        g.add_edge("a", "ob_small", 1.0)
+        order = serialize(g)
+        # CP is a->cp2; both ob tasks trail, bigger b-level first
+        assert order == ["a", "cp2", "ob_big", "ob_small"]
+
+
+class TestPaperSerialOrders:
+    """The published serialization walkthrough (§2.2)."""
+
+    def test_nominal_serial_order_matches_paper(self, paper_graph):
+        order = serialize(paper_graph)
+        assert order == ["T1", "T2", "T7", "T4", "T3", "T8", "T6", "T9", "T5"]
+
+    def test_p2_serial_order(self, paper_system):
+        order = serialize(
+            paper_system.graph, exec_cost=paper_system.exec_cost_fn(1)
+        )
+        # Our CP wrt P2 is <T1,T7,T9> (length 226 — the very value the paper
+        # itself reports), so T7 precedes T6; the paper prints
+        # T1,T2,T6,T7,... because it claims CP={T1,T2,T6,T9}, inconsistent
+        # with its own length. See EXPERIMENTS.md.
+        assert order == ["T1", "T2", "T7", "T6", "T3", "T4", "T8", "T9", "T5"]
+
+
+class TestPivotSelection:
+    def test_paper_pivot_is_p2(self, paper_system):
+        sel = select_pivot(paper_system)
+        assert sel.pivot == 1  # P2
+        assert [round(x) for x in sel.cp_lengths] == [240, 226, 228, 246]
+        assert sel.cp_tasks == ("T1", "T7", "T9")
+
+    def test_pivot_tie_prefers_lower_index(self, homogeneous_system):
+        sel = select_pivot(homogeneous_system)
+        assert sel.pivot == 0  # identical processors: tie -> P0
+
+    def test_serial_order_included(self, paper_system):
+        sel = select_pivot(paper_system)
+        assert sel.serial_order == (
+            "T1", "T2", "T7", "T6", "T3", "T4", "T8", "T9", "T5"
+        )
+
+
+class TestSerialInjection:
+    def test_injection_is_serial_execution(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        # all tasks on the pivot, zero communication
+        assert all(slot.proc == sel.pivot for slot in sched.slots.values())
+        total = sum(
+            paper_system.exec_cost(t, sel.pivot)
+            for t in paper_system.graph.tasks()
+        )
+        assert sched.schedule_length() == pytest.approx(total)
+        assert all(r.is_local for r in sched.routes.values())
+
+    def test_injection_valid(self, paper_system):
+        from repro import validate_schedule
+
+        _, sched = serial_injection(paper_system)
+        validate_schedule(sched)
+
+    def test_injection_respects_serial_order(self, paper_system):
+        sel, sched = serial_injection(paper_system)
+        assert tuple(sched.proc_order[sel.pivot]) == sel.serial_order

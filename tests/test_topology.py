@@ -1,0 +1,121 @@
+"""Tests for processor topologies."""
+
+import pytest
+
+from repro import (
+    Topology,
+    binary_tree,
+    chain,
+    clique,
+    hypercube,
+    mesh2d,
+    paper_topologies,
+    random_topology,
+    ring,
+    star,
+)
+from repro.errors import TopologyError
+from repro.network.topology import link_id
+
+
+class TestLinkId:
+    def test_canonical_order(self):
+        assert link_id(3, 1) == (1, 3)
+        assert link_id(1, 3) == (1, 3)
+
+    def test_self_link_rejected(self):
+        with pytest.raises(TopologyError):
+            link_id(2, 2)
+
+
+class TestBuilders:
+    def test_ring(self):
+        t = ring(16)
+        assert t.n_procs == 16
+        assert t.n_links == 16
+        assert all(t.degree(p) == 2 for p in t.processors)
+        assert t.diameter() == 8
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_chain(self):
+        t = chain(5)
+        assert t.n_links == 4
+        assert t.degree(0) == 1 and t.degree(2) == 2
+
+    def test_hypercube(self):
+        t = hypercube(16)
+        assert t.n_links == 32  # 16 * 4 / 2
+        assert all(t.degree(p) == 4 for p in t.processors)
+        assert t.diameter() == 4
+        assert t.has_link(0, 1) and t.has_link(0, 8)
+        assert not t.has_link(0, 3)
+
+    def test_hypercube_requires_power_of_two(self):
+        with pytest.raises(TopologyError):
+            hypercube(12)
+
+    def test_clique(self):
+        t = clique(16)
+        assert t.n_links == 120
+        assert t.diameter() == 1
+
+    def test_star(self):
+        t = star(8)
+        assert t.degree(0) == 7
+        assert all(t.degree(p) == 1 for p in range(1, 8))
+
+    def test_mesh(self):
+        t = mesh2d(4, 4)
+        assert t.n_procs == 16
+        assert t.n_links == 24
+        assert t.degree(0) == 2 and t.degree(5) == 4
+
+    def test_tree(self):
+        t = binary_tree(7)
+        assert t.n_links == 6
+        assert t.degree(0) == 2
+
+    def test_random_topology_degree_bounds(self):
+        for seed in range(5):
+            t = random_topology(16, 2, 8, seed=seed)
+            assert t.n_procs == 16
+            degrees = [t.degree(p) for p in t.processors]
+            assert max(degrees) <= 8
+            # connectivity is guaranteed by construction (spanning tree)
+            assert t.diameter() < 16
+
+    def test_random_topology_deterministic(self):
+        assert random_topology(16, seed=3).links == random_topology(16, seed=3).links
+
+    def test_paper_topologies(self):
+        topos = paper_topologies()
+        assert set(topos) == {"ring", "hypercube", "clique", "random"}
+        assert all(t.n_procs == 16 for t in topos.values())
+
+
+class TestTopologyClass:
+    def test_duplicate_link_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(3, [(0, 1), (1, 0), (1, 2)])
+
+    def test_disconnected_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(4, [(0, 1), (2, 3)])
+
+    def test_out_of_range_proc_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(2, [(0, 5)])
+
+    def test_neighbors_sorted(self):
+        t = Topology(4, [(2, 0), (0, 3), (0, 1), (1, 2), (2, 3)])
+        assert t.neighbors(0) == [1, 2, 3]
+
+    def test_bfs_order_full_and_starts_at_root(self):
+        t = ring(6)
+        order = t.bfs_order(2)
+        assert order[0] == 2
+        assert sorted(order) == list(range(6))
+        assert order == [2, 1, 3, 0, 4, 5]

@@ -1,0 +1,127 @@
+"""Unit tests for interval math (gap search is the substrate's hot core)."""
+
+import pytest
+
+from repro.util.intervals import (
+    Interval,
+    earliest_gap,
+    insert_interval,
+    intervals_overlap,
+    total_busy,
+    verify_disjoint,
+)
+
+
+class TestInterval:
+    def test_duration(self):
+        assert Interval(2.0, 5.0).duration == 3.0
+
+    def test_zero_duration_allowed(self):
+        assert Interval(2.0, 2.0).duration == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(5.0, 2.0)
+
+    def test_overlap_detection(self):
+        a = Interval(0.0, 10.0)
+        assert a.overlaps(Interval(5.0, 15.0))
+        assert not a.overlaps(Interval(10.0, 20.0))  # half-open: touching is fine
+        assert not a.overlaps(Interval(20.0, 30.0))
+
+    def test_payload_carried(self):
+        assert Interval(0, 1, payload="task").payload == "task"
+
+
+class TestIntervalsOverlap:
+    def test_disjoint(self):
+        assert not intervals_overlap(0, 1, 2, 3)
+
+    def test_touching_not_overlap(self):
+        assert not intervals_overlap(0, 5, 5, 9)
+
+    def test_nested(self):
+        assert intervals_overlap(0, 10, 3, 4)
+
+    def test_identical(self):
+        assert intervals_overlap(3, 7, 3, 7)
+
+
+class TestEarliestGap:
+    def test_empty_timeline(self):
+        assert earliest_gap([], ready=3.0, duration=5.0) == 3.0
+
+    def test_fits_before_first(self):
+        busy = [Interval(10, 20)]
+        assert earliest_gap(busy, ready=0.0, duration=5.0) == 0.0
+
+    def test_does_not_fit_before_first(self):
+        busy = [Interval(3, 20)]
+        assert earliest_gap(busy, ready=0.0, duration=5.0) == 20.0
+
+    def test_fits_between(self):
+        busy = [Interval(0, 10), Interval(25, 30)]
+        assert earliest_gap(busy, ready=0.0, duration=10.0) == 10.0
+
+    def test_gap_too_small_skipped(self):
+        busy = [Interval(0, 10), Interval(12, 30)]
+        assert earliest_gap(busy, ready=0.0, duration=5.0) == 30.0
+
+    def test_ready_inside_busy(self):
+        busy = [Interval(0, 10)]
+        assert earliest_gap(busy, ready=5.0, duration=2.0) == 10.0
+
+    def test_ready_inside_gap(self):
+        busy = [Interval(0, 10), Interval(20, 30)]
+        assert earliest_gap(busy, ready=12.0, duration=5.0) == 12.0
+
+    def test_ready_inside_gap_but_too_late(self):
+        busy = [Interval(0, 10), Interval(20, 30)]
+        assert earliest_gap(busy, ready=17.0, duration=5.0) == 30.0
+
+    def test_zero_duration_at_ready(self):
+        busy = [Interval(0, 10)]
+        assert earliest_gap(busy, ready=5.0, duration=0.0) == 5.0
+
+    def test_negative_ready_clamped(self):
+        assert earliest_gap([], ready=-5.0, duration=1.0) == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            earliest_gap([], ready=0.0, duration=-1.0)
+
+    def test_exact_fit(self):
+        busy = [Interval(0, 10), Interval(15, 20)]
+        assert earliest_gap(busy, ready=0.0, duration=5.0) == 10.0
+
+
+class TestInsertInterval:
+    def test_insert_sorted_position(self):
+        busy = [Interval(0, 10), Interval(20, 30)]
+        idx = insert_interval(busy, Interval(12, 18))
+        assert idx == 1
+        assert [iv.start for iv in busy] == [0, 12, 20]
+
+    def test_insert_overlap_rejected(self):
+        busy = [Interval(0, 10)]
+        with pytest.raises(ValueError):
+            insert_interval(busy, Interval(5, 8))
+
+    def test_insert_at_front_and_back(self):
+        busy = [Interval(10, 20)]
+        insert_interval(busy, Interval(0, 5))
+        insert_interval(busy, Interval(25, 30))
+        assert [iv.start for iv in busy] == [0, 10, 25]
+
+
+class TestTotals:
+    def test_total_busy(self):
+        assert total_busy([Interval(0, 5), Interval(10, 12)]) == 7.0
+
+    def test_verify_disjoint_clean(self):
+        assert verify_disjoint([Interval(0, 5), Interval(5, 9)]) is None
+
+    def test_verify_disjoint_finds_overlap(self):
+        bad = [Interval(0, 5), Interval(4, 9)]
+        pair = verify_disjoint(bad)
+        assert pair == (bad[0], bad[1])

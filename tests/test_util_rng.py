@@ -1,0 +1,68 @@
+"""Tests for deterministic RNG helpers."""
+
+import pytest
+
+from repro.util.rng import RngStream, stable_seed, stable_uniform
+
+
+class TestStableSeed:
+    def test_deterministic(self):
+        assert stable_seed("a", 1, (2, 3)) == stable_seed("a", 1, (2, 3))
+
+    def test_different_parts_differ(self):
+        assert stable_seed("a") != stable_seed("b")
+
+    def test_order_matters(self):
+        assert stable_seed("a", "b") != stable_seed("b", "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) must differ from ("a", "b")
+        assert stable_seed("ab") != stable_seed("a", "b")
+
+
+class TestStableUniform:
+    def test_in_range(self):
+        for key in range(50):
+            v = stable_uniform(42, key, 1.0, 50.0)
+            assert 1.0 <= v <= 50.0
+
+    def test_deterministic(self):
+        assert stable_uniform(1, "k", 0, 1) == stable_uniform(1, "k", 0, 1)
+
+    def test_key_sensitivity(self):
+        assert stable_uniform(1, "k1", 0, 1) != stable_uniform(1, "k2", 0, 1)
+
+    def test_bad_range_rejected(self):
+        with pytest.raises(ValueError):
+            stable_uniform(1, "k", 5.0, 1.0)
+
+    def test_degenerate_range(self):
+        assert stable_uniform(1, "k", 3.0, 3.0) == 3.0
+
+
+class TestRngStream:
+    def test_same_seed_same_sequence(self):
+        a, b = RngStream(9), RngStream(9)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_fork_independent_of_parent_consumption(self):
+        a = RngStream(9)
+        fork_before = a.fork("child").random()
+        a2 = RngStream(9)
+        a2.random()  # consume parent
+        fork_after = a2.fork("child").random()
+        assert fork_before == fork_after
+
+    def test_fork_names_differ(self):
+        root = RngStream(3)
+        assert root.fork("x").random() != root.fork("y").random()
+
+    def test_delegations(self):
+        r = RngStream(1)
+        assert 0 <= r.randint(0, 10) <= 10
+        assert 1.0 <= r.uniform(1.0, 2.0) <= 2.0
+        assert r.choice([5]) == 5
+        assert sorted(r.sample(range(10), 3))[0] >= 0
+        seq = list(range(10))
+        r.shuffle(seq)
+        assert sorted(seq) == list(range(10))
