@@ -1,0 +1,191 @@
+"""Hot-path speedup benchmark: legacy vs fast scheduling engine.
+
+Runs a Figure-3-style sweep (regular + random graphs x granularities x
+the paper's four 16-processor topologies x {BSA, DLS}) twice — once with
+the original linear-rescan hot path (``legacy``) and once with the
+indexed-timeline / memoized / pruned engine (``fast``) — and:
+
+* asserts every schedule is **byte-identical** across modes (serializer
+  JSON compared cell by cell, which covers every task time and every
+  message hop);
+* reports the single-process speedup (target: >= 3x);
+* optionally measures parallel-runner scaling (``--jobs N`` wall clock
+  vs serial) on the same sweep;
+* writes everything to ``BENCH_hotpath.json`` (repo root by default) so
+  the speedup is tracked across PRs.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py            # full bench
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --preset smoke
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict, List, Tuple
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.baselines.dls import schedule_dls
+from repro.core.bsa import BSAOptions, schedule_bsa
+from repro.experiments.config import Cell
+from repro.experiments.runner import build_cell_system, run_cells
+from repro.schedule.io import schedule_to_json
+from repro.schedule.validator import validate_schedule
+from repro.util.intervals import set_hotpath_mode
+
+TOPOLOGIES = ("ring", "hypercube", "clique", "random")
+ALGORITHMS = ("bsa", "dls")
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
+
+
+def sweep_cells(preset: str) -> List[Cell]:
+    """A Fig.3-style grid, sized by preset."""
+    if preset == "smoke":
+        apps, sizes, grans = ("gauss",), (30,), (1.0,)
+    elif preset == "default":
+        apps, sizes, grans = ("gauss", "laplace"), (40, 80), (0.1, 1.0, 10.0)
+    else:
+        raise ValueError(f"unknown preset {preset!r}")
+    cells = [
+        Cell("regular", app, size, gran, topology, algorithm)
+        for app in apps
+        for size in sizes
+        for gran in grans
+        for topology in TOPOLOGIES
+        for algorithm in ALGORITHMS
+    ]
+    # a slice of the random suite keeps the sweep honest about both
+    # graph families without doubling the runtime
+    cells += [
+        Cell("random", "random", sizes[-1], 1.0, topology, algorithm)
+        for topology in TOPOLOGIES
+        for algorithm in ALGORITHMS
+    ]
+    return cells
+
+
+def _schedule(cell: Cell):
+    system = build_cell_system(cell)
+    scheduler = (
+        (lambda: schedule_bsa(system, BSAOptions()))
+        if cell.algorithm == "bsa"
+        else (lambda: schedule_dls(system))
+    )
+    t0 = time.perf_counter()
+    sched = scheduler()
+    elapsed = time.perf_counter() - t0
+    return sched, elapsed
+
+
+def run_single_process(cells: List[Cell]) -> Dict:
+    """Time every cell under both modes; verify bit-identical schedules."""
+    totals = {"legacy": 0.0, "fast": 0.0}
+    per_topology: Dict[str, Dict[str, float]] = {
+        t: {"legacy": 0.0, "fast": 0.0} for t in TOPOLOGIES
+    }
+    mismatches: List[str] = []
+    for i, cell in enumerate(cells):
+        blobs = {}
+        for mode in ("legacy", "fast"):
+            set_hotpath_mode(mode)
+            sched, elapsed = _schedule(cell)
+            totals[mode] += elapsed
+            per_topology[cell.topology][mode] += elapsed
+            blobs[mode] = schedule_to_json(sched)
+            if mode == "fast":
+                validate_schedule(sched)
+        if blobs["legacy"] != blobs["fast"]:
+            mismatches.append(cell.key())
+        sys.stderr.write(
+            f"\r[{i + 1}/{len(cells)}] legacy {totals['legacy']:.1f}s "
+            f"fast {totals['fast']:.1f}s"
+        )
+    sys.stderr.write("\n")
+    set_hotpath_mode("fast")
+    return {
+        "cells": len(cells),
+        "legacy_s": round(totals["legacy"], 3),
+        "fast_s": round(totals["fast"], 3),
+        "speedup": round(totals["legacy"] / totals["fast"], 2),
+        "identical_schedules": not mismatches,
+        "mismatched_cells": mismatches,
+        "per_topology": {
+            t: {
+                "legacy_s": round(v["legacy"], 3),
+                "fast_s": round(v["fast"], 3),
+                "speedup": round(v["legacy"] / v["fast"], 2) if v["fast"] else None,
+            }
+            for t, v in per_topology.items()
+        },
+    }
+
+
+def run_jobs_scaling(cells: List[Cell], jobs: int) -> Dict:
+    """Wall clock of the parallel runner at --jobs 1 vs --jobs N."""
+    timings = {}
+    for n in (1, jobs):
+        t0 = time.perf_counter()
+        run_cells(cells, jobs=n, use_cache=False)
+        timings[n] = time.perf_counter() - t0
+    return {
+        "jobs": jobs,
+        "serial_s": round(timings[1], 3),
+        "parallel_s": round(timings[jobs], 3),
+        "speedup": round(timings[1] / timings[jobs], 2),
+        "efficiency": round(timings[1] / timings[jobs] / jobs, 2),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=["smoke", "default"], default="default")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="also measure parallel scaling at this job count")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="where to write the JSON report")
+    args = parser.parse_args(argv)
+
+    cells = sweep_cells(args.preset)
+    print(f"hot-path bench: preset={args.preset}, {len(cells)} cells "
+          f"({len(TOPOLOGIES)} topologies x {ALGORITHMS})")
+
+    report = {
+        "bench": "hotpath",
+        "preset": args.preset,
+        # scaling numbers are only meaningful relative to available cores
+        "host_cpus": os.cpu_count(),
+        "single_process": run_single_process(cells),
+    }
+    sp = report["single_process"]
+    print(f"single-process: legacy {sp['legacy_s']}s -> fast {sp['fast_s']}s "
+          f"= {sp['speedup']}x, identical={sp['identical_schedules']}")
+
+    if args.jobs and args.jobs > 1:
+        report["jobs_scaling"] = run_jobs_scaling(cells, args.jobs)
+        js = report["jobs_scaling"]
+        print(f"parallel runner: jobs=1 {js['serial_s']}s -> jobs={js['jobs']} "
+              f"{js['parallel_s']}s = {js['speedup']}x "
+              f"(efficiency {js['efficiency']:.0%})")
+
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"report written to {out}")
+
+    if not sp["identical_schedules"]:
+        print("FAIL: schedules differ between modes", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,10 +16,11 @@ from repro.errors import SchedulingError
 from repro.graph.model import TaskId
 from repro.network.routing import RoutingTable
 from repro.network.system import HeterogeneousSystem
-from repro.network.topology import Link, Proc, link_id
+from repro.network.topology import Proc
 from repro.schedule.events import Edge
+from repro.schedule.linkplan import LinkPlanner, slot_start
 from repro.schedule.schedule import Schedule
-from repro.util.intervals import Interval, earliest_gap
+from repro.util.intervals import fast_path_enabled
 
 
 @dataclass
@@ -60,7 +61,7 @@ class ListScheduleBuilder:
         of the same task never plan overlapping reservations.
         """
         graph = self.system.graph
-        planned: Dict[Link, List[Interval]] = {}
+        planner = LinkPlanner(self.sched, self.link_insertion)
         plans: List[MessagePlan] = []
         da = 0.0
         for k in graph.predecessors(task):
@@ -75,40 +76,21 @@ class ListScheduleBuilder:
                 plans.append(MessagePlan(edge, None, None, ready))
             else:
                 path = self.routing.path(src_proc, proc)
-                hop_starts: List[float] = []
-                for a, b in zip(path, path[1:]):
-                    lid = link_id(a, b)
-                    duration = self.system.comm_cost(edge, lid)
-                    busy = self.sched.link_busy(lid)
-                    extra = planned.get(lid)
-                    if extra:
-                        busy = sorted(busy + extra, key=lambda iv: iv.start)
-                    if self.link_insertion:
-                        start = earliest_gap(busy, ready, duration)
-                    else:
-                        last = busy[-1].finish if busy else 0.0
-                        start = max(ready, last)
-                    hop_starts.append(start)
-                    planned.setdefault(lid, []).append(
-                        Interval(start, start + duration)
-                    )
-                    planned[lid].sort(key=lambda iv: iv.start)
-                    ready = start + duration
-                plans.append(MessagePlan(edge, path, hop_starts, ready))
+                hop_starts, arrival = planner.walk_path(edge, path, ready)
+                plans.append(MessagePlan(edge, path, hop_starts, arrival))
             da = max(da, plans[-1].arrival)
         return da, plans
 
     def earliest_start(self, task: TaskId, proc: Proc, data_arrival: float) -> float:
         """Earliest start on ``proc`` given arrival, per the slot policy."""
         duration = self.system.exec_cost(task, proc)
-        busy = self.sched.proc_busy(proc)
-        if self.proc_insertion:
-            return earliest_gap(busy, data_arrival, duration)
-        last = busy[-1].finish if busy else 0.0
-        return max(data_arrival, last)
+        return slot_start(self.sched, proc, data_arrival, duration,
+                          self.proc_insertion)
 
     def proc_available(self, proc: Proc) -> float:
         """Finish time of the last task on ``proc`` (DLS's ``TF``)."""
+        if fast_path_enabled():
+            return self.sched.proc_timeline(proc).last_finish()
         busy = self.sched.proc_busy(proc)
         return busy[-1].finish if busy else 0.0
 

@@ -32,9 +32,11 @@ from repro.graph.analysis import static_b_levels
 from repro.graph.model import TaskId
 from repro.graph.validation import validate_graph
 from repro.network.routing import RoutingTable
-from repro.network.system import HeterogeneousSystem
+from repro.network.system import HeterogeneousSystem, LinkHeterogeneity
 from repro.baselines.common import ListScheduleBuilder, MessagePlan
+from repro.schedule.linkplan import arrival_lower_bound
 from repro.schedule.schedule import Schedule
+from repro.util.intervals import fast_path_enabled
 
 
 @dataclass(frozen=True)
@@ -83,16 +85,63 @@ def schedule_dls(
     ready: List[TaskId] = [t for t in graph.tasks() if n_unsched_preds[t] == 0]
     procs = system.topology.processors
 
+    use_pruning = fast_path_enabled()
+    # With homogeneous link factors every hop of message (k, task) costs
+    # its nominal c, and table routes have a fixed hop count — so the
+    # queue-free store-and-forward chain lower-bounds the data arrival
+    # per (pred, proc) pair float-exactly.
+    distance_bound = use_pruning and (
+        system.link_mode is LinkHeterogeneity.HOMOGENEOUS
+    )
+    routing = builder.routing
+    slots = builder.sched.slots
+    # DLS is monotonic: once a task's predecessors are placed their procs
+    # and finish times never change, so the per-(task, proc) arrival
+    # bound is computed once when the task first becomes ready.
+    da_lb_cache: Dict[TaskId, List[float]] = {}
     while ready:
-        best = None  # (DL, tiebreaks, task, proc, start, plans)
+        best = None  # (key, task, proc, start, plans)
         for task in ready:
+            sl = sl_star[task]
+            oi = order_index[task]
+            if use_pruning:
+                # Exact upper bound on DL(task, proc): the data arrival
+                # can never precede the latest predecessor finish plus
+                # (for homogeneous links) the queue-free store-and-
+                # forward chain over the table route's hop count, so
+                #   DL <= sl - max(da_lb, TF) + delta
+                # float-exactly (same subtraction/addition operands,
+                # repeated addition mirroring the plan's hop chain).
+                # A pair is skipped only when even that bound loses to
+                # the incumbent key, making the argmax — and hence the
+                # schedule — identical to exhaustive evaluation.
+                lbs = da_lb_cache.get(task)
+                if lbs is None:
+                    pred_info = [
+                        (builder.sched.proc_of(k), slots[k].finish,
+                         graph.comm_cost(k, task))
+                        for k in graph.predecessors(task)
+                    ]
+                    hop_distance = (
+                        (lambda p, q: len(routing.path(p, q)) - 1)
+                        if distance_bound else None
+                    )
+                    lbs = [
+                        arrival_lower_bound(pred_info, proc, hop_distance)
+                        for proc in procs
+                    ]
+                    da_lb_cache[task] = lbs
             for proc in procs:
-                da, plans = builder.plan_messages(task, proc)
                 tf = builder.proc_available(proc)
-                start = max(da, tf)
                 delta = median[task] - system.exec_cost(task, proc)
-                dl = sl_star[task] - start + delta
-                key = (-dl, order_index[task], proc)
+                if use_pruning and best is not None:
+                    dl_ub = sl - max(lbs[proc], tf) + delta
+                    if (-dl_ub, oi, proc) >= best[0]:
+                        continue
+                da, plans = builder.plan_messages(task, proc)
+                start = max(da, tf)
+                dl = sl - start + delta
+                key = (-dl, oi, proc)
                 if best is None or key < best[0]:
                     best = (key, task, proc, start, plans)
         _, task, proc, start, plans = best

@@ -4,6 +4,8 @@ Commands
 --------
 * ``schedule``   — schedule one generated workload and print results;
 * ``example``    — run the paper's worked example with a Gantt chart;
+* ``run``        — execute an experiment sweep through the parallel
+  engine (``--jobs N``) with progress and a summary report;
 * ``experiment`` — regenerate a figure (fig3..fig7, runtime);
 * ``info``       — library / scale / cache information.
 """
@@ -74,6 +76,41 @@ def _cmd_example(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    """Execute a sweep through the parallel engine and report."""
+    from repro.experiments.config import SCALES, current_scale
+    from repro.experiments.figures import figure_cells
+    from repro.experiments.runner import run_cells
+
+    scale = SCALES[args.scale] if args.scale else current_scale()
+    # runtime first: its cells overlap fig4/fig6's, and computing them in
+    # a later parallel sweep would cache contention-inflated runtimes
+    names = (
+        ["runtime", "fig3", "fig4", "fig5", "fig6", "fig7"]
+        if args.sweep == "all" else [args.sweep]
+    )
+    failed = False
+    for name in names:
+        cells = figure_cells(name, scale=scale)
+        # runtime cells are timing measurements: computing them under
+        # pool contention would cache inflated runtimes, so they always
+        # run serially regardless of --jobs
+        jobs = 1 if name == "runtime" else args.jobs
+        note = " (serial: timing sweep)" if (name == "runtime" and args.jobs > 1) else ""
+        print(f"sweep {name} @ scale {scale.name}: "
+              f"{len(cells)} cells, jobs={jobs}{note}")
+        _, report = run_cells(
+            cells,
+            jobs=jobs,
+            use_cache=not args.no_cache,
+            progress=lambda msg: print(f"  {msg}"),
+            raise_on_error=False,  # failures are rendered in the summary
+        )
+        print(report.summary())
+        failed = failed or bool(report.failures)
+    return 1 if failed else 0
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments import figures as F
     from repro.experiments.reporting import (
@@ -88,14 +125,14 @@ def _cmd_experiment(args) -> int:
     if name in ("fig3", "fig4", "fig5", "fig6"):
         fn = {"fig3": F.figure3, "fig4": F.figure4,
               "fig5": F.figure5, "fig6": F.figure6}[name]
-        panels = fn(scale=scale)
+        panels = fn(scale=scale, jobs=args.jobs)
         print(render_panels(panels))
         print()
         print(render_improvement_summary(panels))
     elif name == "fig7":
-        print(render_figure(F.figure7(scale=scale)))
+        print(render_figure(F.figure7(scale=scale, jobs=args.jobs)))
     elif name == "runtime":
-        print(render_figure(F.runtime_study(scale=scale), ndigits=3))
+        print(render_figure(F.runtime_study(scale=scale, jobs=args.jobs), ndigits=3))
     else:
         print(f"unknown figure {name!r}", file=sys.stderr)
         return 2
@@ -193,9 +230,22 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("example", help="run the paper's worked example")
     p.set_defaults(func=_cmd_example)
 
+    p = sub.add_parser("run", help="execute an experiment sweep (parallel)")
+    p.add_argument("sweep", nargs="?", default="all",
+                   choices=["fig3", "fig4", "fig5", "fig6", "fig7",
+                            "runtime", "all"])
+    p.add_argument("--scale", choices=["smoke", "default", "full"], default=None)
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes (default: 1, serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every cell, ignore and skip the cache")
+    p.set_defaults(func=_cmd_run)
+
     p = sub.add_parser("experiment", help="regenerate a figure")
     p.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "runtime"])
     p.add_argument("--scale", choices=["smoke", "default", "full"], default=None)
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes for the cell sweep")
     p.set_defaults(func=_cmd_experiment)
 
     p = sub.add_parser("ablation", help="compare BSA option variants on one workload")

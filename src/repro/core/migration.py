@@ -23,9 +23,9 @@ Route modes
   re-routed over an on-demand BFS shortest path between the producer's
   and consumer's current processors (no precomputed routing table, per the
   paper's design goal). This realizes the paper's claim that migration
-  yields "optimized routes"; with literal incremental routing we measure
-  2-4x communication inflation that inverts the paper's BSA-vs-DLS
-  results (see EXPERIMENTS.md).
+  yields "optimized routes"; with the literal incremental mode we measure
+  per-route hop inflation up to ~1.2x and 2.7-3.8x longer schedules that
+  invert the paper's BSA-vs-DLS results (see EXPERIMENTS.md §3).
 """
 
 from __future__ import annotations
@@ -36,11 +36,11 @@ from typing import Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError, SchedulingError
 from repro.graph.model import TaskId
 from repro.network.routing import shortest_path
-from repro.network.topology import Link, Proc, link_id
+from repro.network.topology import Proc, link_id
 from repro.schedule.events import Edge
+from repro.schedule.linkplan import LinkPlanner, slot_start
 from repro.schedule.schedule import Schedule
 from repro.schedule.settle import settle
-from repro.util.intervals import Interval, earliest_gap
 
 #: incoming-route plan kinds
 _LOCAL, _TRUNCATE, _EXTEND, _REBUILD = "local", "truncate", "extend", "rebuild"
@@ -87,50 +87,6 @@ def current_drt_vip(sched: Schedule, task: TaskId) -> Tuple[float, Optional[Task
     return drt, vip
 
 
-class _LinkPlanner:
-    """Tentative link reservations layered over the committed timelines."""
-
-    def __init__(self, sched: Schedule, insertion: bool):
-        self.sched = sched
-        self.insertion = insertion
-        self.planned: Dict[Link, List[Interval]] = {}
-
-    def reserve(self, lid: Link, ready: float, duration: float) -> float:
-        busy = self.sched.link_busy(lid)
-        extra = self.planned.get(lid)
-        if extra:
-            busy = sorted(busy + extra, key=lambda iv: iv.start)
-        if self.insertion:
-            start = earliest_gap(busy, ready, duration)
-        else:
-            last = busy[-1].finish if busy else 0.0
-            start = max(ready, last)
-        self.planned.setdefault(lid, []).append(Interval(start, start + duration))
-        self.planned[lid].sort(key=lambda iv: iv.start)
-        return start
-
-    def walk_path(
-        self, edge: Edge, path: List[Proc], ready: float
-    ) -> Tuple[List[float], float]:
-        """Reserve every hop of ``path``; returns (hop starts, arrival)."""
-        starts: List[float] = []
-        for a, b in zip(path, path[1:]):
-            lid = link_id(a, b)
-            duration = self.sched.system.comm_cost(edge, lid)
-            start = self.reserve(lid, ready, duration)
-            starts.append(start)
-            ready = start + duration
-        return starts, ready
-
-
-def _slot_start(busy: List[Interval], ready: float, duration: float, insertion: bool) -> float:
-    """Earliest feasible start under the configured slot policy."""
-    if insertion:
-        return earliest_gap(busy, ready, duration)
-    last = busy[-1].finish if busy else 0.0
-    return max(ready, last)
-
-
 def evaluate_migration(
     sched: Schedule,
     task: TaskId,
@@ -148,7 +104,7 @@ def evaluate_migration(
     if src == dst:
         raise SchedulingError(f"task {task!r} is already on P{dst}")
 
-    planner = _LinkPlanner(sched, insertion)
+    planner = LinkPlanner(sched, insertion)
     in_plans: Dict[Edge, InRoutePlan] = {}
     drt, vip = 0.0, None
 
@@ -166,7 +122,7 @@ def evaluate_migration(
             drt, vip = plan.arrival, k
 
     cost = system.exec_cost(task, dst)
-    st = _slot_start(sched.proc_busy(dst), drt, cost, insertion)
+    st = slot_start(sched, dst, drt, cost, insertion)
     return MigrationPlan(
         task=task, src=src, dst=dst, drt=drt, vip=vip,
         st=st, ft=st + cost, route_mode=route_mode, in_plans=in_plans,
@@ -175,7 +131,7 @@ def evaluate_migration(
 
 def _plan_in_shortest(
     sched: Schedule,
-    planner: _LinkPlanner,
+    planner: LinkPlanner,
     edge: Edge,
     producer_proc: Proc,
     dst: Proc,
@@ -191,7 +147,7 @@ def _plan_in_shortest(
 
 def _plan_in_incremental(
     sched: Schedule,
-    planner: _LinkPlanner,
+    planner: LinkPlanner,
     edge: Edge,
     producer_proc: Proc,
     src: Proc,
@@ -251,7 +207,7 @@ def commit_migration(
             sched.set_route(edge, rp.path, hop_starts=starts + rp.hop_starts)
 
     # outgoing messages ---------------------------------------------------
-    out_planner = _LinkPlanner(sched, insertion)
+    out_planner = LinkPlanner(sched, insertion)
     for j in graph.successors(task):
         if j not in sched.slots:
             continue  # partial schedules (not produced by BSA) tolerate this
@@ -270,7 +226,7 @@ def commit_migration(
 
 def _commit_out_shortest(
     sched: Schedule,
-    planner: _LinkPlanner,
+    planner: LinkPlanner,
     edge: Edge,
     dst: Proc,
     consumer_proc: Proc,
@@ -286,7 +242,7 @@ def _commit_out_shortest(
 
 def _commit_out_incremental(
     sched: Schedule,
-    planner: _LinkPlanner,
+    planner: LinkPlanner,
     edge: Edge,
     src: Proc,
     dst: Proc,

@@ -7,7 +7,13 @@ from repro.experiments.config import (
     current_scale,
     ALGORITHM_NAMES,
 )
-from repro.experiments.runner import CellResult, run_cell, build_cell_system
+from repro.experiments.runner import (
+    CellResult,
+    SweepReport,
+    build_cell_system,
+    run_cell,
+    run_cells,
+)
 from repro.experiments.cache import ResultCache
 from repro.experiments.aggregate import mean_by
 from repro.experiments.figures import (
@@ -17,6 +23,7 @@ from repro.experiments.figures import (
     figure5,
     figure6,
     figure7,
+    figure_cells,
     runtime_study,
 )
 from repro.experiments.reporting import (
@@ -37,11 +44,14 @@ __all__ = [
     "current_scale",
     "ALGORITHM_NAMES",
     "CellResult",
+    "SweepReport",
     "run_cell",
+    "run_cells",
     "build_cell_system",
     "ResultCache",
     "mean_by",
     "FigureSeries",
+    "figure_cells",
     "figure3",
     "figure4",
     "figure5",

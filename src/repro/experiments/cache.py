@@ -2,10 +2,22 @@
 
 Figures 3/5 (and 4/6) re-aggregate the *same* runs by different axes, and
 re-running benches shouldn't redo minutes of scheduling. Results are tiny
-(a few floats per cell) so a single JSON file keyed by
-:meth:`repro.experiments.config.Cell.key` is plenty. The cache is versioned:
-changing the library's algorithmic behavior should bump
-``CACHE_VERSION`` so stale numbers are never mixed in.
+(a few floats per cell) so JSON keyed by
+:meth:`repro.experiments.config.Cell.key` is plenty.
+
+Two layouts:
+
+* **single file** — ``ResultCache("path/to/results.json")``: everything in
+  one JSON blob (the original layout; still used by tests and ad-hoc
+  scripts);
+* **sharded** — ``ResultCache(directory, shards=N)``: keys are hashed
+  (crc32) over ``N`` shard files so a parallel sweep flushes only the
+  shards it touched and a huge grid never rewrites one monolithic file.
+  This is the default layout (``REPRO_CACHE_SHARDS``, default 8, under
+  ``REPRO_CACHE_DIR``).
+
+The cache is versioned: changing the library's algorithmic behavior
+should bump ``CACHE_VERSION`` so stale numbers are never mixed in.
 """
 
 from __future__ import annotations
@@ -13,63 +25,144 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Dict, Optional
+import zlib
+from typing import Dict, Iterable, Optional, Set, Tuple
 
 CACHE_VERSION = 3
 
+DEFAULT_SHARDS = 8
+
 
 class ResultCache:
-    """A dict-like JSON cache for cell results."""
+    """A dict-like JSON cache for cell results (single-file or sharded)."""
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, shards: Optional[int] = None):
+        legacy_file: Optional[str] = None
         if path is None:
             root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
-            path = os.path.join(root, "results.json")
+            path = os.path.join(root, "results")
+            legacy_file = os.path.join(root, "results.json")
+            if shards is None:
+                try:
+                    shards = int(os.environ.get("REPRO_CACHE_SHARDS",
+                                                DEFAULT_SHARDS))
+                except ValueError:  # typo'd env var — fall back, don't crash
+                    shards = DEFAULT_SHARDS
         self.path = path
-        self._data: Dict[str, dict] = {}
-        self._loaded = False
+        self.n_shards = max(1, int(shards or 1))
+        self.sharded = self.n_shards > 1
+        self._shards: Dict[int, Dict[str, dict]] = {}
+        self._loaded: Set[int] = set()
+        self._dirty: Set[int] = set()
+        if (
+            legacy_file is not None
+            and self.sharded
+            and not os.path.isdir(self.path)
+            and os.path.isfile(legacy_file)
+        ):
+            self._import_legacy(legacy_file)
 
-    def _load(self) -> None:
-        if self._loaded:
-            return
-        self._loaded = True
+    def _import_legacy(self, legacy_file: str) -> None:
+        """Absorb a pre-sharding single-file cache (same CACHE_VERSION)
+        into the shard maps so old results are not silently recomputed.
+        Entries are marked dirty and persist on the next flush; the old
+        file is left in place untouched."""
         try:
-            with open(self.path) as fh:
+            with open(legacy_file) as fh:
                 blob = json.load(fh)
         except (OSError, ValueError):
             return
-        if blob.get("version") == CACHE_VERSION:
-            self._data = blob.get("results", {})
+        if blob.get("version") != CACHE_VERSION:
+            return
+        self._loaded.update(range(self.n_shards))
+        for idx in range(self.n_shards):
+            self._shards.setdefault(idx, {})
+        for key, value in blob.get("results", {}).items():
+            idx = self._shard_of(key)
+            self._shards[idx][key] = value
+            self._dirty.add(idx)
 
+    # ------------------------------------------------------------------
+    def _shard_of(self, key: str) -> int:
+        if not self.sharded:
+            return 0
+        return zlib.crc32(key.encode("utf-8")) % self.n_shards
+
+    def _shard_path(self, idx: int) -> str:
+        if not self.sharded:
+            return self.path
+        return os.path.join(self.path, f"shard-{idx:02d}.json")
+
+    def _load(self, idx: int) -> Dict[str, dict]:
+        if idx in self._loaded:
+            return self._shards.setdefault(idx, {})
+        self._loaded.add(idx)
+        data: Dict[str, dict] = {}
+        try:
+            with open(self._shard_path(idx)) as fh:
+                blob = json.load(fh)
+            if blob.get("version") == CACHE_VERSION:
+                data = blob.get("results", {})
+        except (OSError, ValueError):
+            pass
+        self._shards[idx] = data
+        return data
+
+    # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[dict]:
-        self._load()
-        return self._data.get(key)
+        return self._load(self._shard_of(key)).get(key)
 
     def put(self, key: str, value: dict, flush: bool = True) -> None:
-        self._load()
-        self._data[key] = value
+        idx = self._shard_of(key)
+        self._load(idx)[key] = value
+        self._dirty.add(idx)
+        if flush:
+            self.flush()
+
+    def put_many(self, items: Iterable[Tuple[str, dict]], flush: bool = True) -> None:
+        """Insert many results, deferring I/O to one flush of the dirty
+        shards — the bulk path used by the parallel runner."""
+        for key, value in items:
+            idx = self._shard_of(key)
+            self._load(idx)[key] = value
+            self._dirty.add(idx)
         if flush:
             self.flush()
 
     def flush(self) -> None:
-        directory = os.path.dirname(self.path) or "."
+        """Write every dirty shard (atomic per shard: tmp file + rename).
+
+        A shard that fails to write (e.g. disk full) *stays dirty* so the
+        next flush retries it — in-memory results are never silently
+        dropped from persistence.
+        """
+        if not self._dirty:
+            return
+        directory = self.path if self.sharded else (os.path.dirname(self.path) or ".")
         os.makedirs(directory, exist_ok=True)
-        blob = {"version": CACHE_VERSION, "results": self._data}
-        # atomic-ish write: full tmp file then rename
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as fh:
-                json.dump(blob, fh)
-            os.replace(tmp, self.path)
-        except OSError:
+        written = []
+        for idx in sorted(self._dirty):
+            blob = {"version": CACHE_VERSION, "results": self._shards.get(idx, {})}
             try:
-                os.unlink(tmp)
+                fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
             except OSError:
-                pass
+                continue
+            try:
+                with os.fdopen(fd, "w") as fh:
+                    json.dump(blob, fh)
+                os.replace(tmp, self._shard_path(idx))
+                written.append(idx)
+            except OSError:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+        self._dirty.difference_update(written)
 
     def __len__(self) -> int:
-        self._load()
-        return len(self._data)
+        return sum(
+            len(self._load(idx)) for idx in range(self.n_shards)
+        )
 
 
 #: process-wide default cache instance

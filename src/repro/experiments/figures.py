@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.experiments.cache import ResultCache
 from repro.experiments.config import Cell, Scale, current_scale
-from repro.experiments.runner import CellResult, run_cell
+from repro.experiments.runner import CellResult, run_cell, run_cells
 
 
 @dataclass
@@ -78,15 +78,86 @@ def _suite_cells(
     return cells
 
 
+def _het_cell_groups(scale: Scale) -> Dict[Tuple[str, Tuple[float, float]], List[Cell]]:
+    """Figure 7's cells, grouped by (algorithm, het range) — the single
+    source of its enumeration for both precompute and aggregation."""
+    groups: Dict[Tuple[str, Tuple[float, float]], List[Cell]] = {}
+    for algorithm in scale.algorithms:
+        for (lo, hi) in scale.het_ranges:
+            groups[(algorithm, (lo, hi))] = [
+                Cell(
+                    suite="random", app="random", size=size,
+                    granularity=1.0, topology="hypercube",
+                    algorithm=algorithm, het_lo=lo, het_hi=hi,
+                    graph_seed=seed,
+                )
+                for seed in range(scale.het_sweep_n_graphs)
+                for size in scale.het_sweep_sizes
+            ]
+    return groups
+
+
+def _het_cells(scale: Scale) -> List[Cell]:
+    return [c for cells in _het_cell_groups(scale).values() for c in cells]
+
+
+def _suite_all_cells(suite: str, scale: Scale) -> List[Cell]:
+    return [
+        cell
+        for topology in scale.topologies
+        for algorithm in scale.algorithms
+        for cell in _suite_cells(suite, scale, topology, algorithm)
+    ]
+
+
+def _runtime_cells(scale: Scale, topology: str = "hypercube") -> List[Cell]:
+    return [
+        Cell(
+            suite="random", app="random", size=size, granularity=1.0,
+            topology=topology, algorithm=algorithm,
+        )
+        for algorithm in scale.algorithms
+        for size in scale.sizes
+    ]
+
+
+def figure_cells(name: str, scale: Optional[Scale] = None) -> List[Cell]:
+    """Every cell a named figure aggregates (for sweep pre-computation)."""
+    scale = scale or current_scale()
+    if name in ("fig3", "fig5"):
+        suite = "regular"
+    elif name in ("fig4", "fig6"):
+        suite = "random"
+    elif name == "fig7":
+        return _het_cells(scale)
+    elif name == "runtime":
+        return _runtime_cells(scale)
+    else:
+        raise ValueError(f"unknown figure {name!r}")
+    return _suite_all_cells(suite, scale)
+
+
+def _precompute(
+    cells: List[Cell],
+    jobs: int,
+    cache: Optional[ResultCache],
+) -> None:
+    """Warm the cache for ``cells`` using the parallel sweep engine."""
+    if jobs and jobs > 1:
+        run_cells(cells, jobs=jobs, cache=cache)
+
+
 def _size_figure(
     suite: str,
     title: str,
     scale: Optional[Scale],
     cache: Optional[ResultCache],
     by: str,
+    jobs: int = 1,
 ) -> Dict[str, FigureSeries]:
     """Shared engine for figures 3-6 (``by`` is 'size' or 'granularity')."""
     scale = scale or current_scale()
+    _precompute(_suite_all_cells(suite, scale), jobs, cache)
     panels: Dict[str, FigureSeries] = {}
     for topology in scale.topologies:
         xs: Sequence = scale.sizes if by == "size" else scale.granularities
@@ -110,29 +181,36 @@ def _size_figure(
     return panels
 
 
-def figure3(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+def figure3(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None,
+            jobs: int = 1):
     """Average SL vs graph size, regular graphs, four topologies."""
-    return _size_figure("regular", "Fig.3 regular graphs: SL vs size", scale, cache, "size")
+    return _size_figure("regular", "Fig.3 regular graphs: SL vs size", scale, cache, "size", jobs)
 
 
-def figure4(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+def figure4(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None,
+            jobs: int = 1):
     """Average SL vs graph size, random graphs, four topologies."""
-    return _size_figure("random", "Fig.4 random graphs: SL vs size", scale, cache, "size")
+    return _size_figure("random", "Fig.4 random graphs: SL vs size", scale, cache, "size", jobs)
 
 
-def figure5(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+def figure5(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None,
+            jobs: int = 1):
     """Average SL vs granularity, regular graphs, four topologies."""
-    return _size_figure("regular", "Fig.5 regular graphs: SL vs granularity", scale, cache, "granularity")
+    return _size_figure("regular", "Fig.5 regular graphs: SL vs granularity", scale, cache, "granularity", jobs)
 
 
-def figure6(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None):
+def figure6(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None,
+            jobs: int = 1):
     """Average SL vs granularity, random graphs, four topologies."""
-    return _size_figure("random", "Fig.6 random graphs: SL vs granularity", scale, cache, "granularity")
+    return _size_figure("random", "Fig.6 random graphs: SL vs granularity", scale, cache, "granularity", jobs)
 
 
-def figure7(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None) -> FigureSeries:
+def figure7(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None,
+            jobs: int = 1) -> FigureSeries:
     """Average SL vs heterogeneity range (random graphs, hypercube)."""
     scale = scale or current_scale()
+    groups = _het_cell_groups(scale)
+    _precompute([c for cells in groups.values() for c in cells], jobs, cache)
     fig = FigureSeries(
         title="Fig.7 effect of heterogeneity — 16-processor hypercube",
         x_label="heterogeneity range hi",
@@ -141,16 +219,10 @@ def figure7(scale: Optional[Scale] = None, cache: Optional[ResultCache] = None) 
     for algorithm in scale.algorithms:
         ys: List[float] = []
         for (lo, hi) in scale.het_ranges:
-            values: List[float] = []
-            for seed in range(scale.het_sweep_n_graphs):
-                for size in scale.het_sweep_sizes:
-                    cell = Cell(
-                        suite="random", app="random", size=size,
-                        granularity=1.0, topology="hypercube",
-                        algorithm=algorithm, het_lo=lo, het_hi=hi,
-                        graph_seed=seed,
-                    )
-                    values.append(run_cell(cell, cache=cache).schedule_length)
+            values = [
+                run_cell(cell, cache=cache).schedule_length
+                for cell in groups[(algorithm, (lo, hi))]
+            ]
             ys.append(sum(values) / len(values))
         fig.series[algorithm] = ys
     return fig
@@ -160,8 +232,17 @@ def runtime_study(
     scale: Optional[Scale] = None,
     cache: Optional[ResultCache] = None,
     topology: str = "hypercube",
+    jobs: int = 1,
 ) -> FigureSeries:
-    """Scheduler wall-clock vs graph size (paper's running-time remark)."""
+    """Scheduler wall-clock vs graph size (paper's running-time remark).
+
+    ``jobs`` is accepted for interface symmetry but deliberately
+    ignored: timing cells concurrently would measure CPU contention, not
+    scheduler cost, and the inflated numbers would be cached. Runtime
+    cells always compute serially. (Runtimes are wall clock, so unlike
+    schedule lengths they are not bit-reproducible across runs.)
+    """
+    del jobs
     scale = scale or current_scale()
     fig = FigureSeries(
         title=f"Scheduler runtime vs size — {topology} (random graphs, g=1)",

@@ -3,13 +3,22 @@
 Every cell result is validated with the strict schedule validator before it
 is trusted or cached — a reproduction whose schedules silently violate the
 contention model would be meaningless.
+
+:func:`run_cell` runs one cell; :func:`run_cells` is the sweep engine: it
+deduplicates cells, serves cache hits, and fans the misses out over a
+``concurrent.futures`` process pool in deterministic chunks. Workers never
+touch the on-disk cache — results flow back to the parent, which writes
+them through the sharded cache in one flush per chunk — so a sweep's
+outcome is bit-for-bit independent of ``jobs`` (each cell is a pure
+function of its own seeds; see ``tests/test_parallel_determinism.py``).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Optional
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.cache import ResultCache, default_cache
@@ -158,3 +167,157 @@ def run_cell(
     if use_cache:
         cache.put(cell.key(), result.to_dict())
     return result
+
+
+# ----------------------------------------------------------------------
+# parallel sweep engine
+# ----------------------------------------------------------------------
+
+@dataclass
+class SweepReport:
+    """What happened during one :func:`run_cells` sweep."""
+
+    total: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    computed: int = 0
+    failures: List[Tuple[str, str]] = field(default_factory=list)
+    wall_s: float = 0.0
+    jobs: int = 1
+    n_chunks: int = 0
+
+    def summary(self) -> str:
+        rate = self.computed / self.wall_s if self.wall_s > 0 else 0.0
+        lines = [
+            f"sweep: {self.total} cells ({self.unique} unique), "
+            f"{self.cache_hits} cache hits, {self.computed} computed "
+            f"in {self.wall_s:.1f}s ({rate:.1f} cells/s, jobs={self.jobs}, "
+            f"chunks={self.n_chunks})",
+        ]
+        for key, err in self.failures:
+            lines.append(f"  FAILED {key}: {err}")
+        return "\n".join(lines)
+
+
+def _run_chunk(
+    cells: Sequence[Cell],
+    validate: bool,
+    hotpath: str,
+) -> List[Tuple[str, dict]]:
+    """Worker entry: run a chunk of cells cache-free and return raw dicts.
+
+    The hot-path mode is pinned explicitly so workers behave identically
+    under any multiprocessing start method. A failing cell is reported as
+    an ``{"__error__": ...}`` payload instead of poisoning the chunk.
+    """
+    from repro.util.intervals import set_hotpath_mode
+
+    set_hotpath_mode(hotpath)
+    out: List[Tuple[str, dict]] = []
+    for cell in cells:
+        try:
+            result = run_cell(cell, use_cache=False, validate=validate)
+            out.append((cell.key(), result.to_dict()))
+        except Exception as exc:  # noqa: BLE001 - reported to the parent
+            out.append((cell.key(), {"__error__": f"{type(exc).__name__}: {exc}"}))
+    return out
+
+
+def _chunked(items: List[Cell], size: int) -> List[List[Cell]]:
+    return [items[i:i + size] for i in range(0, len(items), size)]
+
+
+def run_cells(
+    cells: Iterable[Cell],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    validate: bool = True,
+    chunk_size: Optional[int] = None,
+    progress: Optional[Callable[[str], None]] = None,
+    raise_on_error: bool = True,
+) -> Tuple[Dict[str, CellResult], SweepReport]:
+    """Run a batch of cells, fanned out over ``jobs`` worker processes.
+
+    Returns ``(results keyed by cell key, report)``. With ``jobs <= 1``
+    everything runs in-process (no pool). Results are independent of
+    ``jobs`` and of chunking: every cell is rebuilt from its own seeds in
+    whichever process runs it, and the parent alone writes the cache.
+    """
+    from repro.util.intervals import hotpath_mode
+
+    t0 = time.perf_counter()
+    if cache is None:
+        cache = default_cache()
+    cells = list(cells)
+    report = SweepReport(total=len(cells), jobs=max(1, jobs))
+    say = progress or (lambda msg: None)
+
+    unique: Dict[str, Cell] = {}
+    for cell in cells:
+        unique.setdefault(cell.key(), cell)
+    report.unique = len(unique)
+
+    results: Dict[str, CellResult] = {}
+    misses: List[Cell] = []
+    for key, cell in unique.items():
+        hit = cache.get(key) if use_cache else None
+        if hit is not None:
+            results[key] = CellResult.from_dict(hit)
+        else:
+            misses.append(cell)
+    report.cache_hits = len(results)
+    if results:
+        say(f"cache: {len(results)}/{len(unique)} cells already present")
+
+    def _absorb(pairs: List[Tuple[str, dict]]) -> None:
+        good = []
+        for key, payload in pairs:
+            if "__error__" in payload:
+                report.failures.append((key, payload["__error__"]))
+                continue
+            results[key] = CellResult.from_dict(payload)
+            good.append((key, payload))
+            report.computed += 1
+        if use_cache and good:
+            cache.put_many(good, flush=True)
+
+    if misses:
+        if jobs <= 1:
+            done = 0
+            for cell in misses:
+                _absorb(_run_chunk([cell], validate, hotpath_mode()))
+                done += 1
+                if done % 10 == 0 or done == len(misses):
+                    say(f"computed {done}/{len(misses)} cells")
+            report.n_chunks = len(misses)
+        else:
+            if chunk_size is None:
+                chunk_size = max(1, -(-len(misses) // (jobs * 4)))
+            chunks = _chunked(misses, chunk_size)
+            report.n_chunks = len(chunks)
+            mode = hotpath_mode()
+            done_cells = 0
+            with ProcessPoolExecutor(max_workers=jobs) as pool:
+                pending = {
+                    pool.submit(_run_chunk, chunk, validate, mode): len(chunk)
+                    for chunk in chunks
+                }
+                while pending:
+                    finished, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for fut in finished:
+                        n = pending.pop(fut)
+                        _absorb(fut.result())
+                        done_cells += n
+                        say(
+                            f"computed {done_cells}/{len(misses)} cells "
+                            f"({len(pending)} chunks in flight)"
+                        )
+
+    report.wall_s = time.perf_counter() - t0
+    if report.failures and raise_on_error:
+        raise ConfigurationError(
+            f"{len(report.failures)} cell(s) failed: "
+            + "; ".join(f"{k}: {e}" for k, e in report.failures[:3])
+        )
+    return results, report

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import RoutingError
 from repro.network.topology import Link, Proc, Topology, link_id
+from repro.util.intervals import fast_path_enabled
 
 
 class RoutingTable:
@@ -41,6 +42,8 @@ class RoutingTable:
         self.strategy = strategy
         # next_hop[src][dst] -> neighbor of src on the chosen shortest path
         self._next: Dict[Proc, Dict[Proc, Proc]] = {}
+        # fast-path memo of materialized paths (the table is immutable)
+        self._path_cache: Dict[Tuple[Proc, Proc], List[Proc]] = {}
         if strategy == "ecube":
             _check_hypercube(topology)
             for src in topology.processors:
@@ -79,9 +82,18 @@ class RoutingTable:
             raise RoutingError(f"no route from {src} to {dst}") from None
 
     def path(self, src: Proc, dst: Proc) -> List[Proc]:
-        """Processor sequence ``src .. dst`` (length 1 when src == dst)."""
+        """Processor sequence ``src .. dst`` (length 1 when src == dst).
+
+        On the fast hot path the materialized list is memoized (the table
+        never changes after construction); the shared list must not be
+        mutated by callers.
+        """
         if src == dst:
             return [src]
+        if fast_path_enabled():
+            hit = self._path_cache.get((src, dst))
+            if hit is not None:
+                return hit
         path = [src]
         cur = src
         while cur != dst:
@@ -89,6 +101,8 @@ class RoutingTable:
             path.append(cur)
             if len(path) > self.topology.n_procs:
                 raise RoutingError(f"routing loop from {src} to {dst}")
+        if fast_path_enabled():
+            self._path_cache[(src, dst)] = path
         return path
 
     def links_on_path(self, src: Proc, dst: Proc) -> List[Link]:
@@ -100,9 +114,31 @@ class RoutingTable:
 
 
 def shortest_path(topology: Topology, src: Proc, dst: Proc) -> List[Proc]:
-    """One-off BFS shortest path (for callers that don't keep a table)."""
+    """BFS shortest path (for callers that don't keep a table).
+
+    On the fast hot path, paths are memoized per topology *instance*
+    (the cache lives on the topology object, so it follows topology
+    identity and can never leak across systems). Topologies are immutable
+    after construction, which makes the memo safe. The returned list is
+    shared — callers must not mutate it.
+    """
     if src == dst:
         return [src]
+    if not fast_path_enabled():
+        return _bfs_path(topology, src, dst)
+    cache: Dict[Tuple[Proc, Proc], List[Proc]] = topology.__dict__.setdefault(
+        "_sp_cache", {}
+    )
+    path = cache.get((src, dst))
+    if path is None:
+        path = _bfs_path(topology, src, dst)
+        cache[(src, dst)] = path
+    return path
+
+
+def _bfs_path(topology: Topology, src: Proc, dst: Proc) -> List[Proc]:
+    """The original one-off BFS (deterministic: sorted neighbor order,
+    first discovery wins — memoized and unmemoized paths are identical)."""
     prev: Dict[Proc, Proc] = {}
     seen = {src}
     frontier = [src]

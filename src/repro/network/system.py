@@ -21,6 +21,7 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 from repro.errors import ConfigurationError, TopologyError
 from repro.graph.model import TaskGraph, TaskId
 from repro.network.topology import Link, Proc, Topology, link_id
+from repro.util.intervals import fast_path_enabled
 from repro.util.rng import RngStream, stable_uniform
 
 
@@ -69,6 +70,9 @@ class HeterogeneousSystem:
         self._per_link: Dict[Link, float] = dict(per_link_factors or {})
         if link_mode is LinkHeterogeneity.PER_LINK and not self._per_link:
             raise ConfigurationError("PER_LINK mode requires per_link_factors")
+        # fast-path memo for comm_cost: every factor source is a pure
+        # function of (edge, link) for a fixed system, so caching is exact.
+        self._comm_cache: Dict[Tuple[Tuple[TaskId, TaskId], Link], float] = {}
 
     # ------------------------------------------------------------------
     # constructors
@@ -196,6 +200,15 @@ class HeterogeneousSystem:
 
     def comm_cost(self, edge: Tuple[TaskId, TaskId], link: Link) -> float:
         """Actual cost of message ``edge`` on ``link`` (``h' * c_ij``)."""
+        if fast_path_enabled():
+            key = (edge, link)
+            hit = self._comm_cache.get(key)
+            if hit is not None:
+                return hit
+            src, dst = edge
+            cost = self.link_factor(edge, link) * self.graph.comm_cost(src, dst)
+            self._comm_cache[key] = cost
+            return cost
         src, dst = edge
         return self.link_factor(edge, link) * self.graph.comm_cost(src, dst)
 

@@ -9,7 +9,7 @@ and link.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.graph.model import TaskId
 from repro.network.topology import Link, Proc, link_id
@@ -19,12 +19,19 @@ Edge = Tuple[TaskId, TaskId]
 
 @dataclass
 class TaskSlot:
-    """Execution of one task on one processor over ``[start, finish)``."""
+    """Execution of one task on one processor over ``[start, finish)``.
+
+    ``cost`` caches the exact execution cost the slot was created with so
+    the settle pass need not re-derive it (``finish - start`` is *not* a
+    substitute: after float rounding it can differ from the cost in the
+    last bit). ``None`` means "unknown, look it up".
+    """
 
     task: TaskId
     proc: Proc
     start: float = 0.0
     finish: float = 0.0
+    cost: Optional[float] = None
 
     @property
     def duration(self) -> float:
@@ -44,6 +51,8 @@ class MessageHop:
     dst: Proc
     start: float = 0.0
     finish: float = 0.0
+    #: exact communication cost at creation (see TaskSlot.cost)
+    cost: Optional[float] = None
 
     @property
     def link(self) -> Link:

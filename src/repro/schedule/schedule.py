@@ -22,7 +22,7 @@ from repro.graph.model import TaskId
 from repro.network.system import HeterogeneousSystem
 from repro.network.topology import Link, Proc, link_id
 from repro.schedule.events import Edge, MessageHop, Route, TaskSlot
-from repro.util.intervals import Interval
+from repro.util.intervals import Interval, Timeline
 
 
 class Schedule:
@@ -39,6 +39,13 @@ class Schedule:
         self.link_order: Dict[Link, List[MessageHop]] = {
             l: [] for l in system.topology.links
         }
+        # Monotonic mutation counter + lazily built per-resource Timeline
+        # indexes (see timeline docs in repro.util.intervals). Any mutation
+        # bumps the version; cached timelines are rebuilt on demand when
+        # their stamp is stale. BSA evaluates hundreds of candidate moves
+        # between mutations, so the caches are hit far more than rebuilt.
+        self._version: int = 0
+        self._tl_cache: Dict[Tuple[str, object], Tuple[int, Timeline]] = {}
 
     # ------------------------------------------------------------------
     # queries
@@ -73,6 +80,33 @@ class Schedule:
         """
         return self.link_order[link]
 
+    def proc_timeline(self, proc: Proc) -> Timeline:
+        """Cached :class:`Timeline` over ``proc``'s busy slots.
+
+        The returned object is shared and must not be mutated — tentative
+        planners layer their reservations over it with
+        :meth:`Timeline.earliest_gap_merged` instead.
+        """
+        key = ("p", proc)
+        hit = self._tl_cache.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        slots = self.slots
+        tl = Timeline.from_items([slots[t] for t in self.proc_order[proc]])
+        self._tl_cache[key] = (self._version, tl)
+        return tl
+
+    def link_timeline(self, link: Link) -> Timeline:
+        """Cached :class:`Timeline` over ``link``'s busy hops (shared —
+        do not mutate; copy first)."""
+        key = ("l", link)
+        hit = self._tl_cache.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        tl = Timeline.from_items(self.link_order[link])
+        self._tl_cache[key] = (self._version, tl)
+        return tl
+
     def route_of(self, edge: Edge) -> Optional[Route]:
         return self.routes.get(edge)
 
@@ -102,12 +136,13 @@ class Schedule:
         if task in self.slots:
             raise SchedulingError(f"task {task!r} already scheduled")
         duration = self.system.exec_cost(task, proc)
-        slot = TaskSlot(task, proc, start, start + duration)
+        slot = TaskSlot(task, proc, start, start + duration, cost=duration)
         order = self.proc_order[proc]
         if position is None:
             position = self._bisect_by_start(order, start)
         order.insert(position, task)
         self.slots[task] = slot
+        self._version += 1
         return slot
 
     def _bisect_by_start(self, order: List[TaskId], start: float) -> int:
@@ -126,6 +161,7 @@ class Schedule:
         if slot is None:
             raise SchedulingError(f"task {task!r} is not scheduled")
         self.proc_order[slot.proc].remove(task)
+        self._version += 1
         return slot
 
     # ------------------------------------------------------------------
@@ -153,7 +189,7 @@ class Schedule:
                 raise SchedulingError(f"no link between {a} and {b} for {edge}")
             duration = self.system.comm_cost(edge, link_id(a, b))
             start = hop_starts[i] if hop_starts else 0.0
-            hop = MessageHop(edge, a, b, start, start + duration)
+            hop = MessageHop(edge, a, b, start, start + duration, cost=duration)
             hops.append(hop)
             order = self.link_order[hop.link]
             if hop_starts:
@@ -162,6 +198,7 @@ class Schedule:
                 order.append(hop)
         route = Route(edge, hops)
         self.routes[edge] = route
+        self._version += 1
         return route
 
     def _bisect_hops(self, order: List[MessageHop], start: float) -> int:
@@ -181,6 +218,7 @@ class Schedule:
             return
         for hop in route.hops:
             self.link_order[hop.link].remove(hop)
+        self._version += 1
 
     def mark_local(self, edge: Edge) -> None:
         """Record that ``edge`` is intra-processor (no links used)."""
@@ -196,25 +234,55 @@ class Schedule:
             order.sort(key=lambda t: (self.slots[t].start, self.slots[t].finish))
         for l, hops in self.link_order.items():
             hops.sort(key=lambda h: (h.start, h.finish))
+        self._version += 1
 
     def copy(self) -> "Schedule":
         """Deep copy (fresh slot/hop objects, shared system)."""
         dup = Schedule(self.system, self.algorithm)
         for t, slot in self.slots.items():
-            dup.slots[t] = TaskSlot(slot.task, slot.proc, slot.start, slot.finish)
+            dup.slots[t] = TaskSlot(slot.task, slot.proc, slot.start, slot.finish,
+                                    cost=slot.cost)
         for p, order in self.proc_order.items():
             dup.proc_order[p] = list(order)
         hop_map: Dict[int, MessageHop] = {}
         for edge, route in self.routes.items():
             new_hops = []
             for h in route.hops:
-                nh = MessageHop(h.edge, h.src, h.dst, h.start, h.finish)
+                nh = MessageHop(h.edge, h.src, h.dst, h.start, h.finish,
+                                cost=h.cost)
                 hop_map[id(h)] = nh
                 new_hops.append(nh)
             dup.routes[edge] = Route(edge, new_hops)
         for l, hops in self.link_order.items():
             dup.link_order[l] = [hop_map[id(h)] for h in hops]
         return dup
+
+    def snapshot(self) -> "ScheduleSnapshot":
+        """Shallow structural capture for transactional rollback.
+
+        Much cheaper than :meth:`copy` — container dicts/lists are copied
+        but slot/hop/route objects are *shared* with the live schedule.
+        This is sound for rolling back a failed ``commit_migration``
+        because mutators only ever create new objects or re-link
+        containers; shared objects' times are first overwritten by the
+        settle write-back, which the settle pass guarantees not to reach
+        when it raises ``CycleError``. Do not use the snapshot after any
+        successful settle: restoring it then would revive stale times.
+        """
+        return ScheduleSnapshot(self)
+
+    def restore_snapshot(self, snap: "ScheduleSnapshot") -> None:
+        """Adopt the state captured by :meth:`snapshot` (see its
+        contract); the snapshot must not be reused afterwards."""
+        if snap.system is not self.system:
+            raise SchedulingError("cannot restore from a different system's snapshot")
+        self.algorithm = snap.algorithm
+        self.slots = snap.slots
+        self.proc_order = snap.proc_order
+        self.routes = snap.routes
+        self.link_order = snap.link_order
+        self._version += 1
+        self._tl_cache.clear()
 
     def restore_from(self, snapshot: "Schedule") -> None:
         """Adopt the full state of ``snapshot`` (transactional rollback).
@@ -229,6 +297,8 @@ class Schedule:
         self.slots = snapshot.slots
         self.routes = snapshot.routes
         self.link_order = snapshot.link_order
+        self._version += 1
+        self._tl_cache.clear()
 
     def stats_summary(self) -> str:
         """One-line human summary used by the CLI and examples."""
@@ -244,3 +314,22 @@ class Schedule:
             f"Schedule({self.algorithm!r}, tasks={len(self.slots)}, "
             f"SL={self.schedule_length():.1f})"
         )
+
+
+class ScheduleSnapshot:
+    """Shallow capture of a schedule's container state.
+
+    Slot, hop and route objects are shared with the live schedule — see
+    :meth:`Schedule.snapshot` for when that is sound.
+    """
+
+    __slots__ = ("system", "algorithm", "slots", "proc_order", "routes",
+                 "link_order")
+
+    def __init__(self, sched: Schedule):
+        self.system = sched.system
+        self.algorithm = sched.algorithm
+        self.slots = dict(sched.slots)
+        self.proc_order = {p: list(o) for p, o in sched.proc_order.items()}
+        self.routes = dict(sched.routes)
+        self.link_order = {l: list(h) for l, h in sched.link_order.items()}

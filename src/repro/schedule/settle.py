@@ -33,10 +33,128 @@ from typing import Dict, List, Tuple
 
 from repro.errors import CycleError, SchedulingError
 from repro.schedule.schedule import Schedule
+from repro.util.intervals import fast_path_enabled
 
 
 def settle(schedule: Schedule) -> Schedule:
     """Recompute all start/finish times in place; returns the schedule."""
+    if fast_path_enabled():
+        return _settle_fast(schedule)
+    return _settle_legacy(schedule)
+
+
+def _settle_fast(schedule: Schedule) -> Schedule:
+    """Same longest-path computation as :func:`_settle_legacy` with the
+    inner loops flattened (no closure per dependency, hoisted lookups).
+    Times are identical: node durations and the precedence structure are
+    the same, and Kahn's algorithm computes each start as a max over
+    predecessors independent of traversal order.
+    """
+    system = schedule.system
+    graph = system.graph
+    exec_cost = system.exec_cost
+    comm_cost = system.comm_cost
+
+    objs: List[object] = []
+    duration: List[float] = []
+    append_obj = objs.append
+    append_dur = duration.append
+
+    task_ids: Dict[object, int] = {}
+    i = 0
+    for task, slot in schedule.slots.items():
+        task_ids[task] = i
+        append_obj(slot)
+        c = slot.cost
+        append_dur(c if c is not None else exec_cost(task, slot.proc))
+        i += 1
+    hop_ids: Dict[int, int] = {}
+    for route in schedule.routes.values():
+        for hop in route.hops:
+            hop_ids[id(hop)] = i
+            append_obj(hop)
+            c = hop.cost
+            append_dur(c if c is not None else comm_cost(hop.edge, hop.link))
+            i += 1
+
+    n = i
+    succ: List[List[int]] = [[] for _ in range(n)]
+    indeg: List[int] = [0] * n
+
+    for order in schedule.proc_order.values():
+        if len(order) > 1:
+            a = task_ids[order[0]]
+            for t in order[1:]:
+                b = task_ids[t]
+                succ[a].append(b)
+                indeg[b] += 1
+                a = b
+
+    for hops in schedule.link_order.values():
+        if len(hops) > 1:
+            a = hop_ids[id(hops[0])]
+            for h in hops[1:]:
+                b = hop_ids[id(h)]
+                succ[a].append(b)
+                indeg[b] += 1
+                a = b
+
+    routes = schedule.routes
+    get_route = routes.get
+    # direct adjacency iteration — graph.edges() would build a fresh
+    # tuple list on a path hit hundreds of times per schedule
+    for u, vs in graph._succ.items():
+        iu = task_ids.get(u)
+        if iu is None:
+            continue  # partial schedule: constraint not yet active
+        for v in vs:
+            iv = task_ids.get(v)
+            if iv is None:
+                continue
+            route = get_route((u, v))
+            a = iu
+            if route is not None:
+                for hop in route.hops:
+                    b = hop_ids[id(hop)]
+                    succ[a].append(b)
+                    indeg[b] += 1
+                    a = b
+            succ[a].append(iv)
+            indeg[iv] += 1
+
+    start = [0.0] * n
+    ready = [k for k in range(n) if indeg[k] == 0]
+    head = 0
+    while head < len(ready):
+        k = ready[head]
+        head += 1
+        finish = start[k] + duration[k]
+        for j in succ[k]:
+            if finish > start[j]:
+                start[j] = finish
+            indeg[j] -= 1
+            if indeg[j] == 0:
+                ready.append(j)
+    if head != n:
+        blocked = [k for k in range(n) if indeg[k] > 0]
+        cycle = _extract_cycle(succ, blocked, objs, schedule)
+        raise CycleError(
+            f"contradictory schedule orders ({len(blocked)} nodes blocked); "
+            f"cycle: {cycle}",
+            blocked,
+        )
+
+    for k in range(n):
+        obj = objs[k]
+        s = start[k]
+        obj.start = s
+        obj.finish = s + duration[k]
+
+    schedule.resort_orders()
+    return schedule
+
+
+def _settle_legacy(schedule: Schedule) -> Schedule:
     graph = schedule.system.graph
     system = schedule.system
 

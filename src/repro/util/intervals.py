@@ -6,6 +6,22 @@ start ``>= ready`` at which an item of a given duration fits without
 overlapping existing reservations — the "insertion" slot policy used by
 BSA (and by the link substrate shared with the baselines).
 
+Two implementations coexist:
+
+* the original object-walking :func:`earliest_gap` over any sequence with
+  ``start``/``finish`` attributes (the *legacy* hot path, kept verbatim so
+  the fast path can be benchmarked and equivalence-tested against it);
+* :class:`Timeline` — an indexed view holding parallel ``starts`` /
+  ``finishes`` float lists, answering the same query with a ``bisect``
+  jump over every reservation that finishes before ``ready`` instead of a
+  scan from time zero. On the long link timelines BSA builds this is the
+  difference between O(n) and O(log n + k) per candidate evaluation.
+
+Which one the schedulers use is controlled by the process-wide hot-path
+mode (:func:`hotpath_mode` / :func:`set_hotpath_mode`, initialized from
+``REPRO_HOTPATH``). Both produce bit-identical schedules — enforced by
+``benchmarks/bench_hotpath.py`` and ``tests/test_hotpath_equivalence.py``.
+
 All comparisons use an absolute slack ``EPS`` to absorb floating-point
 noise: two reservations are considered non-overlapping when they overlap
 by less than ``EPS``.
@@ -13,10 +29,43 @@ by less than ``EPS``.
 
 from __future__ import annotations
 
+import os
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
 EPS = 1e-9
+
+#: hot-path modes: "fast" uses the indexed structures and memoized
+#: routing/cost lookups; "legacy" runs the original linear-rescan code.
+HOTPATH_MODES = ("fast", "legacy")
+
+_hotpath_mode = os.environ.get("REPRO_HOTPATH", "fast").strip().lower()
+if _hotpath_mode not in HOTPATH_MODES:  # pragma: no cover - env typo guard
+    _hotpath_mode = "fast"
+
+
+def hotpath_mode() -> str:
+    """Current hot-path mode: ``"fast"`` (default) or ``"legacy"``."""
+    return _hotpath_mode
+
+
+def fast_path_enabled() -> bool:
+    return _hotpath_mode == "fast"
+
+
+def set_hotpath_mode(mode: str) -> str:
+    """Switch the hot-path mode; returns the previous mode.
+
+    Used by the equivalence bench/tests to time both implementations in
+    one process. Not thread-safe — flip it only around whole runs.
+    """
+    global _hotpath_mode
+    if mode not in HOTPATH_MODES:
+        raise ValueError(f"hotpath mode must be one of {HOTPATH_MODES}, got {mode!r}")
+    previous = _hotpath_mode
+    _hotpath_mode = mode
+    return previous
 
 
 @dataclass(frozen=True)
@@ -90,6 +139,107 @@ def insert_interval(busy: List[Interval], item: Interval) -> int:
             )
     busy.insert(idx, item)
     return idx
+
+
+class Timeline:
+    """Indexed busy-timeline: parallel start/finish arrays + bisect queries.
+
+    The arrays mirror a start-sorted, non-overlapping reservation list
+    (task slots on a processor, message hops on a link). Tentative
+    planners layer "what-if" reservations over a committed Timeline via
+    :meth:`earliest_gap_merged` — a two-pointer walk over (this
+    timeline, a small extras list) — instead of re-sorting merged object
+    lists on every query.
+
+    ``_maxf`` is the running maximum of ``finishes`` — non-decreasing by
+    construction even when zero-duration reservations make the raw finish
+    times locally non-monotonic — so :meth:`earliest_gap` can bisect past
+    every reservation already finished by ``ready`` and scan only the
+    tail. Skipped reservations finish at or before the scan time ``t``,
+    so (for positive-duration queries) they can neither host the item nor
+    advance ``t``: results are bit-identical to the legacy full scan.
+    """
+
+    __slots__ = ("starts", "finishes", "_maxf")
+
+    def __init__(self, starts: Optional[List[float]] = None,
+                 finishes: Optional[List[float]] = None):
+        self.starts = starts if starts is not None else []
+        self.finishes = finishes if finishes is not None else []
+        self._maxf: List[float] = []
+        running = float("-inf")
+        for f in self.finishes:
+            if f > running:
+                running = f
+            self._maxf.append(running)
+
+    @classmethod
+    def from_items(cls, items: Sequence) -> "Timeline":
+        """Build from start-sorted objects with ``start``/``finish``."""
+        return cls([iv.start for iv in items], [iv.finish for iv in items])
+
+    def __len__(self) -> int:
+        return len(self.starts)
+
+    def last_finish(self) -> float:
+        """Finish of the last reservation in start order (0 when empty)."""
+        return self.finishes[-1] if self.finishes else 0.0
+
+    def earliest_gap(self, ready: float, duration: float) -> float:
+        """Earliest start ``>= ready`` fitting ``duration`` (see
+        :func:`earliest_gap` — same contract, indexed implementation)."""
+        if duration < -EPS:
+            raise ValueError(f"negative duration {duration}")
+        t = ready if ready > 0.0 else 0.0
+        if duration <= EPS:
+            return t
+        starts, finishes = self.starts, self.finishes
+        n = len(starts)
+        i = bisect_right(self._maxf, t)
+        while i < n:
+            if starts[i] - t >= duration - EPS:
+                return t
+            f = finishes[i]
+            if f > t:
+                t = f
+            i += 1
+        return t
+
+    def earliest_gap_merged(
+        self,
+        ready: float,
+        duration: float,
+        extra_starts: List[float],
+        extra_finishes: List[float],
+    ) -> float:
+        """Earliest gap over the union of this timeline and a (small,
+        start-sorted) tentative reservation list, without materializing
+        the merge. Equivalent to the legacy ``sorted(busy + extra)`` scan:
+        the two-pointer walk visits the union in start order with base
+        reservations before tentative ones at equal starts — the same
+        order a stable sort of ``committed + planned`` produces.
+        """
+        if duration < -EPS:
+            raise ValueError(f"negative duration {duration}")
+        t = ready if ready > 0.0 else 0.0
+        if duration <= EPS:
+            return t
+        bs, bf = self.starts, self.finishes
+        n = len(bs)
+        i = bisect_right(self._maxf, t)
+        j, m = 0, len(extra_starts)
+        while i < n or j < m:
+            if i < n and (j >= m or bs[i] <= extra_starts[j]):
+                s, f = bs[i], bf[i]
+                i += 1
+            else:
+                s, f = extra_starts[j], extra_finishes[j]
+                j += 1
+            if s - t >= duration - EPS:
+                return t
+            if f > t:
+                t = f
+        return t
 
 
 def total_busy(busy: Sequence[Interval]) -> float:

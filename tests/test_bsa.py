@@ -22,6 +22,19 @@ class TestOptions:
         assert opts.migration_scope == "global"
         assert opts.n_sweeps == 0  # sweep until stable
 
+    def test_default_trigger_is_paper_faithful(self):
+        """Lock in the docstring/default reconciliation: the default
+        trigger is the ICPP text's literal "always" (vacuous FT > DRT);
+        "st_gt_drt" is the journal-formulation ablation and must stay
+        available but non-default."""
+        assert BSAOptions().migration_trigger == "always"
+        assert BSAOptions.__dataclass_fields__["migration_trigger"].default == "always"
+        # the ablation spelling is accepted...
+        assert BSAOptions(migration_trigger="st_gt_drt").migration_trigger == "st_gt_drt"
+        # ...and the module docstring agrees with the default
+        import repro.core.bsa as bsa_module
+        assert '``"always"`` (default' in bsa_module.__doc__
+
     def test_bad_trigger_rejected(self):
         with pytest.raises(ConfigurationError):
             BSAOptions(migration_trigger="sometimes")

@@ -1,0 +1,120 @@
+"""Equivalence regression tests for the fast scheduling engine.
+
+Two layers of protection for the hot-path overhaul (indexed timelines,
+memoized routing/costs, bound-based candidate pruning):
+
+* **pinned makespans** — exact floats for the paper's Table 1 worked
+  example and fixed-seed sweep cells across every scheduler and both BSA
+  route modes. Any change to scheduling arithmetic, however subtle,
+  trips these. All arithmetic involved is deterministic IEEE-754, so the
+  pins are machine-independent.
+* **legacy/fast cross-checks** — the same cell scheduled under both
+  hot-path modes must serialize to byte-identical JSON (every task time
+  and every message hop).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bsa import BSAOptions, schedule_bsa
+from repro.experiments.config import Cell
+from repro.experiments.paper_example import run_paper_example
+from repro.experiments.runner import _SCHEDULERS, build_cell_system
+from repro.schedule.io import schedule_to_json
+from repro.util.intervals import set_hotpath_mode
+
+
+@pytest.fixture
+def both_modes():
+    """Restore the fast mode even when a test body fails midway."""
+    yield
+    set_hotpath_mode("fast")
+
+
+#: fixed-seed sweep cells (one regular, one random suite)
+CELL_REGULAR = Cell("regular", "gauss", 40, 1.0, "ring", "x",
+                    n_procs=8, graph_seed=3, system_seed=3)
+CELL_RANDOM = Cell("random", "random", 30, 0.1, "hypercube", "x",
+                   n_procs=8, graph_seed=7, system_seed=7)
+
+#: exact schedule lengths per (cell, algorithm) — regenerate only when an
+#: intentional algorithmic change is made, never for performance work
+PINNED = {
+    ("regular", "bsa"): 8696.409356983679,
+    ("regular", "dls"): 12834.33279164142,
+    ("regular", "heft"): 8929.199845235313,
+    ("regular", "cpop"): 48445.270885614154,
+    ("regular", "etf"): 73445.85537671586,
+    ("random", "bsa"): 19886.270007245133,
+    ("random", "dls"): 20494.286130461784,
+    ("random", "heft"): 20645.843323245692,
+    ("random", "cpop"): 20289.416135906395,
+    ("random", "etf"): 30352.23961612196,
+}
+
+#: both route modes, neighbors scope (incremental is only defined there)
+PINNED_ROUTE_MODES = {
+    ("regular", "incremental"): 27743.360255631313,
+    ("regular", "shortest"): 23351.958769638226,
+    ("random", "incremental"): 28346.984959022604,
+    ("random", "shortest"): 19751.398319758886,
+}
+
+
+def _cell(suite: str) -> Cell:
+    return CELL_REGULAR if suite == "regular" else CELL_RANDOM
+
+
+class TestPinnedMakespans:
+    def test_paper_example_exact(self):
+        result = run_paper_example()
+        assert result["metrics"].schedule_length == 186.0
+        assert result["metrics"].total_comm_cost == 120.0
+
+    @pytest.mark.parametrize("suite,algorithm", sorted(PINNED))
+    def test_sweep_cell_exact(self, suite, algorithm):
+        system = build_cell_system(_cell(suite))
+        sched = _SCHEDULERS[algorithm](system)
+        assert sched.schedule_length() == PINNED[(suite, algorithm)]
+
+    @pytest.mark.parametrize("suite,route_mode", sorted(PINNED_ROUTE_MODES))
+    def test_route_modes_exact(self, suite, route_mode):
+        system = build_cell_system(_cell(suite))
+        sched = schedule_bsa(
+            system,
+            BSAOptions(migration_scope="neighbors", route_mode=route_mode),
+        )
+        assert sched.schedule_length() == PINNED_ROUTE_MODES[(suite, route_mode)]
+
+
+class TestLegacyFastIdentical:
+    @pytest.mark.parametrize("suite", ["regular", "random"])
+    @pytest.mark.parametrize("algorithm", ["bsa", "dls", "heft", "cpop", "etf"])
+    def test_serialized_schedules_identical(self, suite, algorithm, both_modes):
+        blobs = {}
+        for mode in ("legacy", "fast"):
+            set_hotpath_mode(mode)
+            system = build_cell_system(_cell(suite))
+            blobs[mode] = schedule_to_json(_SCHEDULERS[algorithm](system))
+        assert blobs["legacy"] == blobs["fast"]
+
+    @pytest.mark.parametrize("route_mode", ["incremental", "shortest"])
+    def test_route_modes_identical(self, route_mode, both_modes):
+        blobs = {}
+        for mode in ("legacy", "fast"):
+            set_hotpath_mode(mode)
+            system = build_cell_system(CELL_RANDOM)
+            sched = schedule_bsa(
+                system,
+                BSAOptions(migration_scope="neighbors", route_mode=route_mode),
+            )
+            blobs[mode] = schedule_to_json(sched)
+        assert blobs["legacy"] == blobs["fast"]
+
+    def test_paper_example_identical(self, both_modes):
+        blobs = {}
+        for mode in ("legacy", "fast"):
+            set_hotpath_mode(mode)
+            blobs[mode] = schedule_to_json(run_paper_example()["schedule"])
+        assert blobs["legacy"] == blobs["fast"]

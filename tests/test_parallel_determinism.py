@@ -1,0 +1,179 @@
+"""The parallel sweep engine: sharding, reporting, and determinism.
+
+The headline guarantee: the same sweep run with ``--jobs 1`` and
+``--jobs 4`` produces identical cached results (modulo measured wall
+time) and identical aggregate tables — each cell is a pure function of
+its own seeds and workers never touch shared state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.cache import ResultCache
+from repro.experiments.config import Cell, Scale
+from repro.experiments.figures import figure3
+from repro.experiments.reporting import render_panels
+from repro.experiments.runner import run_cells
+
+TINY_SCALE = Scale(
+    name="tiny",
+    sizes=(20,),
+    granularities=(1.0,),
+    topologies=("ring", "clique"),
+    regular_apps=("gauss",),
+    n_random_seeds=1,
+    het_sweep_sizes=(20,),
+    het_sweep_n_graphs=1,
+    het_ranges=((1, 10),),
+)
+
+
+def _tiny_cells():
+    return [
+        Cell("random", "random", 20, 1.0, topology, algorithm,
+             n_procs=4, graph_seed=seed, system_seed=seed)
+        for topology in ("ring", "clique")
+        for algorithm in ("bsa", "dls")
+        for seed in (0, 1)
+    ]
+
+
+def _stable(result):
+    """Everything deterministic about a cell result (runtime is wall
+    clock measured in whichever process ran the cell)."""
+    d = dataclasses.asdict(result)
+    d.pop("runtime_s")
+    return d
+
+
+class TestShardedCache:
+    def test_sharded_round_trip(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "shards"), shards=4)
+        keys = [f"cell/{i}" for i in range(20)]
+        for i, key in enumerate(keys):
+            cache.put(key, {"schedule_length": float(i)}, flush=False)
+        cache.flush()
+        reloaded = ResultCache(str(tmp_path / "shards"), shards=4)
+        assert len(reloaded) == 20
+        for i, key in enumerate(keys):
+            assert reloaded.get(key) == {"schedule_length": float(i)}
+        shard_files = list((tmp_path / "shards").glob("shard-*.json"))
+        assert 1 < len(shard_files) <= 4
+
+    def test_put_many_single_flush(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "shards"), shards=2)
+        cache.put_many([(f"k{i}", {"v": i}) for i in range(6)])
+        assert len(ResultCache(str(tmp_path / "shards"), shards=2)) == 6
+
+    def test_default_cache_is_sharded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        cache = ResultCache()
+        assert cache.sharded
+        cache.put("k", {"v": 1})
+        assert ResultCache().get("k") == {"v": 1}
+
+    def test_legacy_single_file_imported(self, tmp_path, monkeypatch):
+        """A pre-sharding results.json is absorbed into the shard layout
+        instead of being silently orphaned."""
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        legacy = ResultCache(str(tmp_path / "results.json"))
+        legacy.put("old-cell", {"schedule_length": 5.0})
+
+        cache = ResultCache()  # default sharded layout, no dir yet
+        assert cache.get("old-cell") == {"schedule_length": 5.0}
+        cache.flush()
+        assert (tmp_path / "results").is_dir()
+        # a fresh handle reads it from the shards (no import path taken)
+        assert ResultCache().get("old-cell") == {"schedule_length": 5.0}
+
+    def test_bad_shards_env_falls_back(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_SHARDS", "eight")
+        cache = ResultCache()
+        assert cache.sharded  # fell back to the default shard count
+
+
+class TestRunCells:
+    def test_serial_report(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c.json"))
+        cells = _tiny_cells()
+        results, report = run_cells(cells, jobs=1, cache=cache)
+        assert report.total == len(cells)
+        assert report.unique == len(cells)
+        assert report.computed == len(cells)
+        assert report.cache_hits == 0
+        assert not report.failures
+        assert set(results) == {c.key() for c in cells}
+        # second run: all hits, nothing recomputed
+        _, report2 = run_cells(cells, jobs=1, cache=cache)
+        assert report2.cache_hits == len(cells)
+        assert report2.computed == 0
+        assert "cache hits" in report2.summary()
+
+    def test_duplicates_deduplicated(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c.json"))
+        cell = _tiny_cells()[0]
+        results, report = run_cells([cell, cell, cell], cache=cache)
+        assert report.total == 3
+        assert report.unique == 1
+        assert report.computed == 1
+
+    def test_failures_reported(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c.json"))
+        bad = Cell("random", "random", 20, 1.0, "ring", "no-such-algo",
+                   n_procs=4)
+        with pytest.raises(ConfigurationError):
+            run_cells([bad], cache=cache)
+        _, report = run_cells([bad], cache=cache, raise_on_error=False)
+        assert len(report.failures) == 1
+        assert "no-such-algo" in report.failures[0][0]
+
+    def test_progress_callback(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c.json"))
+        lines = []
+        run_cells(_tiny_cells()[:2], cache=cache, progress=lines.append)
+        assert lines
+
+
+class TestParallelDeterminism:
+    def test_jobs1_vs_jobs4_identical_results(self, tmp_path):
+        cells = _tiny_cells()
+        cache1 = ResultCache(str(tmp_path / "jobs1"), shards=4)
+        cache4 = ResultCache(str(tmp_path / "jobs4"), shards=4)
+
+        results1, report1 = run_cells(cells, jobs=1, cache=cache1)
+        results4, report4 = run_cells(cells, jobs=4, cache=cache4)
+
+        assert report1.computed == report4.computed == len(cells)
+        assert set(results1) == set(results4)
+        for key in results1:
+            assert _stable(results1[key]) == _stable(results4[key]), key
+        # the caches agree too (parent-side writes only)
+        for cell in cells:
+            a = ResultCache(str(tmp_path / "jobs1"), shards=4).get(cell.key())
+            b = ResultCache(str(tmp_path / "jobs4"), shards=4).get(cell.key())
+            a.pop("runtime_s"), b.pop("runtime_s")
+            assert a == b
+
+    def test_jobs1_vs_jobs4_identical_tables(self, tmp_path):
+        """Aggregate figure tables are byte-identical across job counts."""
+        tables = {}
+        for jobs in (1, 4):
+            cache = ResultCache(str(tmp_path / f"fig-jobs{jobs}"), shards=4)
+            panels = figure3(scale=TINY_SCALE, cache=cache, jobs=jobs)
+            tables[jobs] = render_panels(panels)
+        assert tables[1] == tables[4]
+
+    def test_chunking_does_not_change_results(self, tmp_path):
+        cells = _tiny_cells()
+        outs = []
+        for chunk_size in (1, 3, len(cells)):
+            cache = ResultCache(str(tmp_path / f"chunk{chunk_size}"), shards=2)
+            results, _ = run_cells(cells, jobs=2, cache=cache,
+                                   chunk_size=chunk_size)
+            outs.append({k: _stable(v) for k, v in results.items()})
+        assert outs[0] == outs[1] == outs[2]

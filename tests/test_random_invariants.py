@@ -1,0 +1,98 @@
+"""Randomized invariant suite: the safety net for the hot-path refactor.
+
+~50 seeded random (graph, topology, algorithm) combinations across the
+paper's four topology families and all five schedulers. For every combo:
+
+* the strict contention validator accepts the schedule (exclusive
+  processors and links, store-and-forward chains, route contiguity);
+* the reported makespan equals the latest task finish time, both on the
+  live schedule and through the metrics pipeline;
+* the serializer round-trips losslessly (export -> import -> export).
+
+Everything is seeded, so a failure reproduces from the printed combo.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import Cell
+from repro.experiments.runner import _SCHEDULERS, build_cell_system
+from repro.schedule.io import schedule_from_dict, schedule_to_dict
+from repro.schedule.metrics import compute_metrics
+from repro.schedule.validator import validate_schedule
+
+TOPOLOGIES = ("ring", "hypercube", "clique", "random")
+ALGORITHMS = ("bsa", "dls", "heft", "cpop", "etf")
+
+
+def _combos():
+    """52 seeded combos: 2 variants per (topology, algorithm) pair plus a
+    dozen heterogeneous-link extras."""
+    combos = []
+    i = 0
+    for topology in TOPOLOGIES:
+        for algorithm in ALGORITHMS:
+            for variant in range(2):
+                size = 18 + 4 * ((i + variant) % 4)
+                gran = (0.1, 1.0, 10.0)[(i + variant) % 3]
+                combos.append(
+                    Cell(
+                        suite="random", app="random", size=size,
+                        granularity=gran, topology=topology,
+                        algorithm=algorithm, n_procs=8,
+                        graph_seed=i * 2 + variant,
+                        system_seed=100 + i * 2 + variant,
+                    )
+                )
+            i += 1
+    # heterogeneous links exercise the PER_MESSAGE_LINK cost path
+    for j, (topology, algorithm) in enumerate(
+        [(t, a) for t in ("ring", "clique", "random") for a in ("bsa", "dls")]
+        + [("hypercube", "bsa"), ("hypercube", "heft"),
+           ("ring", "cpop"), ("clique", "etf"),
+           ("random", "heft"), ("hypercube", "dls")]
+    ):
+        combos.append(
+            Cell(
+                suite="random", app="random", size=20 + 2 * (j % 3),
+                granularity=1.0, topology=topology, algorithm=algorithm,
+                link_het=True, n_procs=8,
+                graph_seed=500 + j, system_seed=600 + j,
+            )
+        )
+    return combos
+
+
+COMBOS = _combos()
+
+
+def test_combo_count():
+    # the suite's contract: ~50 distinct seeded combos over all
+    # topologies and all five schedulers
+    assert len(COMBOS) >= 50
+    assert {c.topology for c in COMBOS} == set(TOPOLOGIES)
+    assert {c.algorithm for c in COMBOS} == set(ALGORITHMS)
+    assert len({c.key() for c in COMBOS}) == len(COMBOS)
+
+
+@pytest.mark.parametrize("cell", COMBOS, ids=lambda c: c.key())
+def test_random_schedule_invariants(cell):
+    system = build_cell_system(cell)
+    sched = _SCHEDULERS[cell.algorithm](system)
+
+    # every task scheduled, schedule valid under the contention model
+    assert len(sched.slots) == system.graph.n_tasks
+    validate_schedule(sched)
+
+    # makespan == latest task finish, consistently across the APIs
+    latest = max(slot.finish for slot in sched.slots.values())
+    assert sched.schedule_length() == latest
+    assert compute_metrics(sched).schedule_length == latest
+
+    # serialization round-trips losslessly
+    blob = schedule_to_dict(sched)
+    assert blob["schedule_length"] == latest
+    reimported = schedule_from_dict(blob, system)
+    validate_schedule(reimported)
+    assert schedule_to_dict(reimported) == blob

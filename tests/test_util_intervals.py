@@ -3,10 +3,15 @@
 import pytest
 
 from repro.util.intervals import (
+    HOTPATH_MODES,
     Interval,
+    Timeline,
     earliest_gap,
+    fast_path_enabled,
+    hotpath_mode,
     insert_interval,
     intervals_overlap,
+    set_hotpath_mode,
     total_busy,
     verify_disjoint,
 )
@@ -125,3 +130,84 @@ class TestTotals:
         bad = [Interval(0, 5), Interval(4, 9)]
         pair = verify_disjoint(bad)
         assert pair == (bad[0], bad[1])
+
+
+def _random_busy(rng, n):
+    """A start-sorted, legally non-overlapping timeline; occasionally a
+    zero-duration reservation *inside* an earlier interval's span (legal:
+    sub-EPS overlap) so finish times are non-monotonic — the worst case
+    for the indexed bisect."""
+    busy = []
+    t = 0.0
+    for _ in range(n):
+        t += rng.random() * 3
+        dur = 0.0 if rng.random() < 0.15 else rng.random() * 4
+        busy.append(Interval(t, t + dur))
+        t += dur
+    if busy and len(busy) > 2:
+        # zero-width straggler whose finish precedes the previous finish
+        host = busy[len(busy) // 2]
+        if host.duration > 1.0:
+            z = Interval(host.finish, host.finish)
+            busy.insert(len(busy) // 2 + 1, z)
+    busy.sort(key=lambda iv: iv.start)
+    return busy
+
+
+class TestTimeline:
+    """The indexed structure must agree with the legacy scan bit-for-bit."""
+
+    def test_matches_legacy_randomized(self):
+        import random
+        rng = random.Random(42)
+        for trial in range(200):
+            busy = _random_busy(rng, rng.randrange(0, 12))
+            tl = Timeline.from_items(busy)
+            ready = rng.random() * 30 - 2
+            duration = 0.0 if rng.random() < 0.1 else rng.random() * 5
+            assert tl.earliest_gap(ready, duration) == earliest_gap(
+                busy, ready, duration
+            ), (trial, [(iv.start, iv.finish) for iv in busy], ready, duration)
+
+    def test_merged_matches_legacy_sorted_merge(self):
+        import random
+        rng = random.Random(7)
+        for trial in range(200):
+            busy = _random_busy(rng, rng.randrange(0, 10))
+            extras = _random_busy(rng, rng.randrange(0, 4))
+            tl = Timeline.from_items(busy)
+            merged = sorted(busy + extras, key=lambda iv: iv.start)
+            ready = rng.random() * 25
+            duration = rng.random() * 5
+            got = tl.earliest_gap_merged(
+                ready, duration,
+                [iv.start for iv in extras], [iv.finish for iv in extras],
+            )
+            assert got == earliest_gap(merged, ready, duration), (
+                trial, ready, duration
+            )
+
+    def test_last_finish_and_len(self):
+        tl = Timeline.from_items([Interval(0, 5), Interval(7, 9)])
+        assert len(tl) == 2
+        assert tl.last_finish() == 9
+        assert Timeline().last_finish() == 0.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().earliest_gap(0.0, -1.0)
+
+
+class TestHotpathMode:
+    def test_mode_round_trip(self):
+        assert hotpath_mode() in HOTPATH_MODES
+        prev = set_hotpath_mode("legacy")
+        try:
+            assert not fast_path_enabled()
+        finally:
+            set_hotpath_mode(prev)
+        assert hotpath_mode() == prev
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            set_hotpath_mode("turbo")
