@@ -19,6 +19,7 @@ from repro.network.system import HeterogeneousSystem
 from repro.baselines.common import ListScheduleBuilder
 from repro.baselines.heft import upward_ranks
 from repro.schedule.schedule import Schedule
+from repro.util.tolerance import TIE_EPS
 
 
 def downward_ranks(system: HeterogeneousSystem) -> Dict[TaskId, float]:
@@ -47,12 +48,12 @@ def schedule_cpop(system: HeterogeneousSystem) -> Schedule:
     # walk one critical path by priority
     cp_tasks: Set[TaskId] = set()
     entries = [t for t in graph.tasks() if not graph.predecessors(t)]
-    cur = max(entries, key=lambda t: (priority[t] >= cp_value - 1e-9, priority[t]))
+    cur = max(entries, key=lambda t: (priority[t] >= cp_value - TIE_EPS, priority[t]))
     cp_tasks.add(cur)
     while graph.successors(cur):
         nxt = max(
             graph.successors(cur),
-            key=lambda s: (abs(priority[s] - cp_value) <= 1e-9, priority[s]),
+            key=lambda s: (abs(priority[s] - cp_value) <= TIE_EPS, priority[s]),
         )
         cp_tasks.add(nxt)
         cur = nxt

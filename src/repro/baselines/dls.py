@@ -50,8 +50,11 @@ class DLSOptions:
     baseline; used in ablations).
 
     ``routing_strategy`` selects the static routing table: ``"bfs"``
-    shortest paths (any topology) or ``"ecube"`` dimension-ordered routing
-    (hypercubes only — the static policy the paper names in §2.3).
+    shortest paths (any topology), ``"ecube"`` dimension-ordered routing
+    (hypercubes only — the static policy the paper names in §2.3), or
+    ``"weighted"`` cost-aware Dijkstra over per-hop transfer time
+    ``1/bandwidth`` (prefers fat links on heterogeneous topologies; the
+    ``dls-weighted`` registry variant).
     """
 
     link_insertion: bool = False
@@ -86,12 +89,15 @@ def schedule_dls(
     procs = system.topology.processors
 
     use_pruning = fast_path_enabled()
-    # With homogeneous link factors every hop of message (k, task) costs
-    # its nominal c, and table routes have a fixed hop count — so the
-    # queue-free store-and-forward chain lower-bounds the data arrival
-    # per (pred, proc) pair float-exactly.
+    # With homogeneous link factors and uniform unit bandwidth every hop
+    # of message (k, task) costs its nominal c, and table routes have a
+    # fixed hop count — so the queue-free store-and-forward chain
+    # lower-bounds the data arrival per (pred, proc) pair float-exactly.
+    # Skewed bandwidths make fast-link hops cheaper than c, so the chain
+    # would overshoot; fall back to the producer-finish bound there.
     distance_bound = use_pruning and (
         system.link_mode is LinkHeterogeneity.HOMOGENEOUS
+        and system.topology.uniform_bandwidth
     )
     routing = builder.routing
     slots = builder.sched.slots

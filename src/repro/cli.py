@@ -33,6 +33,7 @@ def _cmd_schedule(args) -> int:
         granularity=args.granularity, topology=args.topology,
         algorithm=args.algorithm, n_procs=args.procs,
         graph_seed=args.seed, system_seed=args.seed,
+        duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
     )
     system = build_cell_system(cell)
     schedulers = {
@@ -149,6 +150,7 @@ def _cmd_ablation(args) -> int:
         suite="random", app="random", size=args.size,
         granularity=args.granularity, topology=args.topology,
         algorithm="bsa", graph_seed=args.seed, system_seed=args.seed,
+        duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
     )
     system = build_cell_system(cell)
     rows = []
@@ -220,9 +222,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", "-n", type=int, default=100)
     p.add_argument("--granularity", "-g", type=float, default=1.0)
     p.add_argument("--topology", "-t", default="hypercube",
-                   choices=["ring", "hypercube", "clique", "random"])
+                   choices=["ring", "hypercube", "clique", "random",
+                            "torus", "fattree"])
     p.add_argument("--procs", "-p", type=int, default=16)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duplex", default="half", choices=["half", "full"],
+                   help="link duplex mode: 'half' shares one timeline per "
+                        "link (paper default), 'full' gives each direction "
+                        "its own timeline")
+    p.add_argument("--bandwidth-skew", type=float, default=1.0,
+                   help="sample per-link bandwidth from U[1, SKEW] "
+                        "(default 1.0 = the paper's uniform links); hop "
+                        "duration is comm cost / bandwidth")
     p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p.add_argument("--gantt-height", type=int, default=40)
     p.set_defaults(func=_cmd_schedule)
@@ -252,8 +263,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", "-n", type=int, default=60)
     p.add_argument("--granularity", "-g", type=float, default=1.0)
     p.add_argument("--topology", "-t", default="hypercube",
-                   choices=["ring", "hypercube", "clique", "random"])
+                   choices=["ring", "hypercube", "clique", "random",
+                            "torus", "fattree"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duplex", default="half", choices=["half", "full"],
+                   help="link duplex mode (see 'schedule --duplex')")
+    p.add_argument("--bandwidth-skew", type=float, default=1.0,
+                   help="per-link bandwidth drawn from U[1, SKEW]")
     p.set_defaults(func=_cmd_ablation)
 
     p = sub.add_parser("report", help="regenerate the full reproduction report")

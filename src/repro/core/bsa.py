@@ -48,8 +48,7 @@ from repro.schedule.linkplan import arrival_lower_bound
 from repro.schedule.schedule import Schedule
 from repro.util.intervals import fast_path_enabled
 from repro.util.rng import RngStream
-
-_EPS = 1e-9
+from repro.util.tolerance import EPS as _EPS
 
 _TRIGGERS = ("st_gt_drt", "always")
 
@@ -273,15 +272,19 @@ class BSAScheduler:
             (sched.proc_of(k), slots[k].finish, graph.comm_cost(k, task))
             for k in graph.predecessors(task)
         ]
-        # With homogeneous link factors every hop of a message costs its
-        # nominal c_ij, and in "shortest" mode the planned path has
-        # exactly dist(producer, dst) hops — so the no-queueing arrival
-        # chain (see linkplan.arrival_lower_bound) is a per-destination
-        # lower bound. Heterogeneous links (or incremental routes) fall
-        # back to the producer-finish bound.
+        # With homogeneous link factors AND uniform unit bandwidth every
+        # hop of a message costs its nominal c_ij, and in "shortest" mode
+        # the planned path has exactly dist(producer, dst) hops — so the
+        # no-queueing arrival chain (see linkplan.arrival_lower_bound) is
+        # a per-destination lower bound. Heterogeneous links, skewed
+        # bandwidths (where a fast link makes hops *cheaper* than c_ij,
+        # breaking the bound) or incremental routes fall back to the
+        # producer-finish bound. Duplex mode is irrelevant: it only
+        # changes queueing, which the bound already ignores.
         distance_bound = (
             opts.route_mode == "shortest"
             and system.link_mode is LinkHeterogeneity.HOMOGENEOUS
+            and topology.uniform_bandwidth
         )
         finish_lb = 0.0
         for (_, f, _) in pred_info:

@@ -169,9 +169,8 @@ def _plan_in_incremental(
         return InRoutePlan(_TRUNCATE, new_path, None, arrival)
     # extended: one new hop src -> dst appended to the route
     ready = route.arrival if old_path is not None else sched.slots[edge[0]].finish
-    lid = link_id(src, dst)
-    duration = sched.system.comm_cost(edge, lid)
-    start = planner.reserve(lid, ready, duration)
+    duration = sched.system.comm_cost(edge, link_id(src, dst))
+    start = planner.reserve(sched.system.topology.channel(src, dst), ready, duration)
     return InRoutePlan(_EXTEND, new_path, [start], start + duration)
 
 
@@ -262,8 +261,10 @@ def _commit_out_incremental(
         starts = [h.start for h in route.hops[drop:]]
         sched.set_route(edge, new_path, hop_starts=starts)
     else:
-        lid = link_id(dst, src)
-        duration = sched.system.comm_cost(edge, lid)
-        start = planner.reserve(lid, producer_finish, duration)
+        # the prepended hop travels dst -> src (new proc toward old)
+        duration = sched.system.comm_cost(edge, link_id(dst, src))
+        start = planner.reserve(
+            sched.system.topology.channel(dst, src), producer_finish, duration
+        )
         old_starts = [h.start for h in route.hops] if old_path is not None else []
         sched.set_route(edge, new_path, hop_starts=[start] + old_starts)

@@ -5,13 +5,24 @@ When a task migrates from pivot ``A`` to neighbor ``B``:
 * each **incoming** message must now reach ``B``: its existing path
   (producer's processor ``... -> A``) is extended with the hop ``A -> B`` —
   unless the path already touches ``B``, in which case it is *truncated* at
-  the last visit of ``B`` (the paper's "optimized routes": never double
-  back), or the producer itself sits on ``B`` and the message becomes
-  local;
+  the **first** visit of ``B`` (the paper's "optimized routes": never
+  double back), or the producer itself sits on ``B`` and the message
+  becomes local;
 * each **outgoing** message must now depart from ``B``: its path
   (``A -> ... -> consumer``) is prepended with ``B -> A`` — unless the path
-  already touches ``B`` (truncate the front) or the consumer sits on ``B``
-  (local).
+  already touches ``B`` (truncate the front up to the **last** visit of
+  ``B``) or the consumer sits on ``B`` (local).
+
+The first/last-visit choice matters only for paths that touch ``B``
+more than once (possible after repeated migrations with truncation
+disabled, or on imported routes): cutting an incoming path at the *last*
+visit — or an outgoing path at the *first* — would leave earlier/later
+visits of ``B`` inside the kept segment, so the "truncated" route would
+still revisit the task's new processor, wasting link capacity. Cutting
+at the first (incoming) / last (outgoing) visit yields the shortest
+prefix/suffix in which ``B`` appears exactly once. Either cut is a
+prefix/suffix of the old path, so existing hop reservations are reused
+unchanged.
 
 These functions are pure path algebra on processor sequences; the
 scheduler layers timing on top.
@@ -51,7 +62,9 @@ def new_incoming_path(
     if producer_proc == new_proc:
         return None
     if truncate and new_proc in path:
-        cut = _rindex(path, new_proc)
+        # first visit: the shortest prefix reaching new_proc (a later cut
+        # would keep earlier visits of new_proc inside the path)
+        cut = path.index(new_proc)
         return path[: cut + 1]
     return path + [new_proc]
 
@@ -77,7 +90,9 @@ def new_outgoing_path(
     if consumer_proc == new_proc:
         return None
     if truncate and new_proc in path:
-        cut = path.index(new_proc)
+        # last visit: the shortest suffix departing from new_proc (an
+        # earlier cut would keep later visits of new_proc inside the path)
+        cut = _rindex(path, new_proc)
         return path[cut:]
     return [new_proc] + path
 

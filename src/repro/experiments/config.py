@@ -34,7 +34,7 @@ class Cell:
     app: str                    # gauss/lu/laplace/mva or "random"
     size: int                   # approximate task count
     granularity: float
-    topology: str               # ring | hypercube | clique | random
+    topology: str               # ring | hypercube | clique | random | torus | fattree
     algorithm: str              # bsa | dls | heft | cpop
     het_lo: float = 1.0
     het_hi: float = 50.0
@@ -42,15 +42,24 @@ class Cell:
     n_procs: int = 16
     graph_seed: int = 0
     system_seed: int = 0
+    #: link model overlay: duplex mode applied to every link and the
+    #: upper bound of the per-link U[1, skew] bandwidth draw (1.0 = the
+    #: paper's uniform links; see network.topology.apply_link_model)
+    duplex: str = "half"
+    bandwidth_skew: float = 1.0
 
     def key(self) -> str:
-        """Stable cache key."""
-        return (
+        """Stable cache key (link-model axes appended only when
+        non-default, so pre-existing cache entries stay addressable)."""
+        base = (
             f"{self.suite}/{self.app}/n{self.size}/g{self.granularity:g}/"
             f"{self.topology}{self.n_procs}/{self.algorithm}/"
             f"het{self.het_lo:g}-{self.het_hi:g}/"
             f"lh{int(self.link_het)}/gs{self.graph_seed}/ss{self.system_seed}"
         )
+        if self.duplex != "half" or self.bandwidth_skew != 1.0:
+            base += f"/dx{self.duplex}/bw{self.bandwidth_skew:g}"
+        return base
 
 
 @dataclass(frozen=True)

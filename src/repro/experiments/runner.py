@@ -26,10 +26,13 @@ from repro.experiments.config import Cell
 from repro.network.system import HeterogeneousSystem
 from repro.network.topology import (
     Topology,
+    apply_link_model,
     clique,
+    fat_tree,
     hypercube,
     random_topology,
     ring,
+    torus2d,
 )
 from repro.baselines.cpop import schedule_cpop
 from repro.baselines.dls import DLSOptions, schedule_dls
@@ -70,7 +73,27 @@ def build_topology(name: str, n_procs: int, seed: int = 0) -> Topology:
         return clique(n_procs)
     if name == "random":
         return random_topology(n_procs, 2, 8, seed=seed)
+    if name == "torus":
+        rows, cols = _near_square(n_procs)
+        if rows < 2 or (rows == 2 and cols == 2):
+            # a 1 x m "torus" is structurally a ring, and 2 x 2 is a
+            # 4-cycle isomorphic to ring(4) — comparing either to
+            # topology="ring" would silently compare identical networks
+            raise ConfigurationError(
+                f"torus needs a composite processor count >= 6, got {n_procs}"
+            )
+        return torus2d(rows, cols)
+    if name == "fattree":
+        return fat_tree(n_procs)
     raise ConfigurationError(f"unknown topology {name!r}")
+
+
+def _near_square(m: int) -> Tuple[int, int]:
+    """Most-square ``rows x cols`` factorization of ``m`` (rows <= cols)."""
+    r = int(m ** 0.5)
+    while r > 1 and m % r:
+        r -= 1
+    return r, m // r
 
 
 def build_cell_system(cell: Cell) -> HeterogeneousSystem:
@@ -84,6 +107,14 @@ def build_cell_system(cell: Cell) -> HeterogeneousSystem:
     else:
         raise ConfigurationError(f"unknown suite {cell.suite!r}")
     topology = build_topology(cell.topology, cell.n_procs, seed=cell.system_seed)
+    # overlay the cell's link model; with the defaults this is a no-op
+    # that returns the very same topology object (byte-identical runs)
+    topology = apply_link_model(
+        topology,
+        duplex=cell.duplex,
+        bandwidth_skew=cell.bandwidth_skew,
+        seed=cell.system_seed,
+    )
     link_range = (cell.het_lo, cell.het_hi) if cell.link_het else None
     return HeterogeneousSystem.sample(
         graph,
@@ -125,6 +156,12 @@ _SCHEDULERS: Dict[str, Callable] = {
     "bsa-append": lambda system: schedule_bsa(system, BSAOptions(insertion=False)),
     "dls-insertion": lambda system: schedule_dls(
         system, DLSOptions(link_insertion=True)
+    ),
+    # cost-aware static routes: Dijkstra over per-hop time 1/bandwidth —
+    # identical hop metric to "bfs" on uniform links, prefers fat links
+    # on skewed/fat-tree topologies
+    "dls-weighted": lambda system: schedule_dls(
+        system, DLSOptions(routing_strategy="weighted")
     ),
 }
 

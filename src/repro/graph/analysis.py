@@ -25,6 +25,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.errors import GraphError
 from repro.graph.model import TaskGraph, TaskId
 from repro.util.rng import RngStream
+from repro.util.tolerance import TIE_EPS
 
 
 def _resolve_cost(graph: TaskGraph, exec_cost) -> Callable[[TaskId], float]:
@@ -104,7 +105,7 @@ def critical_path(
     for t in reversed(graph.topological_order()):
         candidates = []
         for s in graph.successors(t):
-            if abs(graph.comm_cost(t, s) + bl[s] - (bl[t] - cost(t))) <= 1e-9:
+            if abs(graph.comm_cost(t, s) + bl[s] - (bl[t] - cost(t))) <= TIE_EPS:
                 candidates.append(s)
         next_hop[t] = candidates
         if candidates:
@@ -113,9 +114,9 @@ def critical_path(
             exec_sum[t] = cost(t)
 
     cp_len = max(bl.values())
-    starts = [t for t in graph.tasks() if abs(bl[t] - cp_len) <= 1e-9 and not graph.predecessors(t)]
+    starts = [t for t in graph.tasks() if abs(bl[t] - cp_len) <= TIE_EPS and not graph.predecessors(t)]
     if not starts:  # numerical fallback: any task achieving the max b-level
-        starts = [t for t in graph.tasks() if abs(bl[t] - cp_len) <= 1e-9]
+        starts = [t for t in graph.tasks() if abs(bl[t] - cp_len) <= TIE_EPS]
     starts = _argmax_ties(starts, lambda t: exec_sum[t], rng)
 
     path = [starts]
@@ -127,7 +128,7 @@ def critical_path(
 
 def _argmax_ties(items: Sequence[TaskId], key, rng: Optional[RngStream]):
     best = max(key(t) for t in items)
-    tied = [t for t in items if abs(key(t) - best) <= 1e-9]
+    tied = [t for t in items if abs(key(t) - best) <= TIE_EPS]
     if len(tied) == 1 or rng is None:
         return tied[0]
     return rng.choice(tied)

@@ -1,14 +1,18 @@
 """Heterogeneous processor network substrate: topologies, factors, routing."""
 
 from repro.network.topology import (
+    LinkSpec,
     Topology,
+    apply_link_model,
     ring,
     chain,
     hypercube,
     clique,
+    fat_tree,
     fully_connected,
     star,
     mesh2d,
+    torus2d,
     binary_tree,
     random_topology,
     paper_topologies,
@@ -22,14 +26,18 @@ from repro.network.routing import (
 )
 
 __all__ = [
+    "LinkSpec",
     "Topology",
+    "apply_link_model",
     "ring",
     "chain",
     "hypercube",
     "clique",
+    "fat_tree",
     "fully_connected",
     "star",
     "mesh2d",
+    "torus2d",
     "binary_tree",
     "random_topology",
     "paper_topologies",

@@ -32,11 +32,19 @@ class RoutingTable:
 
     ``strategy="bfs"`` (default) uses breadth-first shortest paths on any
     topology; ``strategy="ecube"`` uses dimension-ordered E-cube routing
-    and requires a hypercube (every ``p ^ (1 << d)`` neighbor present).
+    and requires a hypercube (every ``p ^ (1 << d)`` neighbor present);
+    ``strategy="weighted"`` is cost-aware: Dijkstra over per-hop transfer
+    time ``1 / bandwidth(link)``, so routes prefer fat links (ties break
+    toward fewer hops, then lexicographically — deterministic tables).
+    On a uniform-bandwidth topology "weighted" degrades to the BFS hop
+    metric (identical hop counts; equal-length ties may resolve to a
+    different route than BFS's discovery order).
     """
 
+    STRATEGIES = ("bfs", "ecube", "weighted")
+
     def __init__(self, topology: Topology, strategy: str = "bfs"):
-        if strategy not in ("bfs", "ecube"):
+        if strategy not in self.STRATEGIES:
             raise RoutingError(f"unknown routing strategy {strategy!r}")
         self.topology = topology
         self.strategy = strategy
@@ -51,6 +59,9 @@ class RoutingTable:
                 for dst in topology.processors:
                     if src != dst:
                         self._next[src][dst] = _ecube_next_hop(src, dst)
+        elif strategy == "weighted":
+            for dst in topology.processors:
+                self._build_to_weighted(dst)
         else:
             for dst in topology.processors:
                 self._build_to(dst)
@@ -69,6 +80,34 @@ class RoutingTable:
                         toward[q] = p
                         nxt.append(q)
             frontier = nxt
+        for src, hop in toward.items():
+            self._next.setdefault(src, {})[dst] = hop
+        self._next.setdefault(dst, {})
+
+    def _build_to_weighted(self, dst: Proc) -> None:
+        """Dijkstra from ``dst`` over per-hop time ``1 / bandwidth``.
+
+        Labels are ``(time, hops, proc)`` tuples, so equal-time routes
+        prefer fewer hops and then the lexicographically smallest next
+        hop — the table is deterministic for a fixed topology.
+        """
+        import heapq
+
+        topo = self.topology
+        best: Dict[Proc, Tuple[float, int]] = {dst: (0.0, 0)}
+        toward: Dict[Proc, Proc] = {}
+        heap: List[Tuple[float, int, Proc]] = [(0.0, 0, dst)]
+        while heap:
+            t, h, p = heapq.heappop(heap)
+            if (t, h) != best.get(p):
+                continue  # stale entry
+            for q in topo.neighbors(p):  # sorted => deterministic
+                cand = (t + 1.0 / topo.bandwidth(p, q), h + 1)
+                cur = best.get(q)
+                if cur is None or cand < cur or (cand == cur and p < toward[q]):
+                    best[q] = cand
+                    toward[q] = p
+                    heapq.heappush(heap, (cand[0], cand[1], q))
         for src, hop in toward.items():
             self._next.setdefault(src, {})[dst] = hop
         self._next.setdefault(dst, {})

@@ -199,18 +199,32 @@ class HeterogeneousSystem:
         return stable_uniform(self.link_seed, ("link-het", edge, lid), lo, hi)
 
     def comm_cost(self, edge: Tuple[TaskId, TaskId], link: Link) -> float:
-        """Actual cost of message ``edge`` on ``link`` (``h' * c_ij``)."""
+        """Actual hop duration of message ``edge`` on ``link``
+        (``h' * c_ij / bandwidth``).
+
+        Bandwidth comes from the link's :class:`~repro.network.topology.
+        LinkSpec`; the default 1.0 divides out bit-exactly, so uniform
+        topologies reproduce the paper's ``h' * c_ij`` unchanged.
+        """
         if fast_path_enabled():
             key = (edge, link)
             hit = self._comm_cache.get(key)
             if hit is not None:
                 return hit
             src, dst = edge
-            cost = self.link_factor(edge, link) * self.graph.comm_cost(src, dst)
+            cost = (
+                self.link_factor(edge, link)
+                * self.graph.comm_cost(src, dst)
+                / self.topology.bandwidth(*link)
+            )
             self._comm_cache[key] = cost
             return cost
         src, dst = edge
-        return self.link_factor(edge, link) * self.graph.comm_cost(src, dst)
+        return (
+            self.link_factor(edge, link)
+            * self.graph.comm_cost(src, dst)
+            / self.topology.bandwidth(*link)
+        )
 
     # ------------------------------------------------------------------
     @property

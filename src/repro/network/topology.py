@@ -1,25 +1,40 @@
-"""Processor network topologies.
+"""Processor network topologies and the heterogeneous link model.
 
 A :class:`Topology` is an undirected, connected graph over processors
-``0..m-1``. Links are *undirected half-duplex* resources identified by the
-sorted pair ``(min(x, y), max(x, y))`` — one timeline per link, shared by
-both directions, matching Figure 2 of the paper (one Gantt column per link
-``L12..L41``).
+``0..m-1``. Links are identified by the sorted pair
+``(min(x, y), max(x, y))`` and each carries a :class:`LinkSpec`:
+
+* ``bandwidth`` — a throughput multiplier; a hop of nominal cost ``c``
+  lasts ``c / bandwidth`` on the link (the default 1.0 reproduces the
+  paper's uniform links bit-for-bit);
+* ``duplex`` — ``"half"`` (paper default: one timeline per link, shared
+  by both directions, matching Figure 2's one Gantt column per link
+  ``L12..L41``) or ``"full"`` (one independent timeline per direction).
+
+The scheduling substrate reserves time on *channels*: a half-duplex
+link exposes one channel (its canonical link id), a full-duplex link two
+(the ordered pairs ``(x, y)`` and ``(y, x)``). :meth:`Topology.channel`
+maps a traversal direction to its timeline key.
 
 Builders cover the paper's four experimental topologies (16-processor
-ring, hypercube, clique, degree-bounded random) plus a few extras (chain,
-star, 2-D mesh, binary tree) that are useful in examples and tests.
+ring, hypercube, clique, degree-bounded random) plus extras (chain,
+star, 2-D mesh, 2-D torus, binary tree, fat tree) used in examples,
+tests and the link-model ablations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import TopologyError
-from repro.util.rng import RngStream
+from repro.util.rng import RngStream, stable_uniform
 
 Proc = int
 Link = Tuple[int, int]
+
+#: duplex modes a link can operate in
+DUPLEX_MODES = ("half", "full")
 
 
 def link_id(x: Proc, y: Proc) -> Link:
@@ -27,6 +42,40 @@ def link_id(x: Proc, y: Proc) -> Link:
     if x == y:
         raise TopologyError(f"no self-link on processor {x}")
     return (x, y) if x < y else (y, x)
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """Physical properties of one link.
+
+    ``bandwidth`` scales throughput (hop duration = nominal cost /
+    bandwidth); ``duplex`` selects whether the two directions share one
+    timeline (``"half"``) or each get their own (``"full"``).
+    """
+
+    bandwidth: float = 1.0
+    duplex: str = "half"
+
+    def __post_init__(self):
+        if not (self.bandwidth > 0):
+            raise TopologyError(
+                f"link bandwidth must be positive, got {self.bandwidth}"
+            )
+        if self.duplex not in DUPLEX_MODES:
+            raise TopologyError(
+                f"duplex must be one of {DUPLEX_MODES}, got {self.duplex!r}"
+            )
+
+    def to_dict(self) -> dict:
+        return {"bandwidth": self.bandwidth, "duplex": self.duplex}
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "LinkSpec":
+        return cls(bandwidth=d.get("bandwidth", 1.0), duplex=d.get("duplex", "half"))
+
+
+#: the paper's uniform link: unit bandwidth, half duplex
+DEFAULT_LINK_SPEC = LinkSpec()
 
 
 class Topology:
@@ -41,9 +90,22 @@ class Topology:
         rejected.
     name:
         Human-readable name used in reports and cache keys.
+    link_specs:
+        Optional mapping from (canonical or reversed) link pairs to
+        :class:`LinkSpec`; unmapped links use ``default_spec``.
+    default_spec:
+        The :class:`LinkSpec` applied to links absent from
+        ``link_specs`` (default: unit bandwidth, half duplex).
     """
 
-    def __init__(self, n_procs: int, links: Iterable[Tuple[int, int]], name: str = "topology"):
+    def __init__(
+        self,
+        n_procs: int,
+        links: Iterable[Tuple[int, int]],
+        name: str = "topology",
+        link_specs: Optional[Mapping[Link, LinkSpec]] = None,
+        default_spec: LinkSpec = DEFAULT_LINK_SPEC,
+    ):
         if n_procs <= 0:
             raise TopologyError(f"need at least one processor, got {n_procs}")
         self.name = name
@@ -66,6 +128,47 @@ class Topology:
         self._links.sort()
         if n_procs > 1:
             self._check_connected()
+        # --- link specs and channel map -------------------------------
+        self._specs: Dict[Link, LinkSpec] = {l: default_spec for l in self._links}
+        spec_seen = set()
+        for pair, spec in (link_specs or {}).items():
+            lid = link_id(*pair)
+            if lid not in self._specs:
+                raise TopologyError(f"spec for missing link {lid}")
+            if lid in spec_seen:
+                # both orientations of one link would silently overwrite
+                # each other (dict order wins) — reject instead
+                raise TopologyError(f"duplicate spec for link {lid}")
+            spec_seen.add(lid)
+            if not isinstance(spec, LinkSpec):
+                raise TopologyError(f"link {lid}: spec must be a LinkSpec, got {spec!r}")
+            self._specs[lid] = spec
+        # directed (src, dst) -> timeline key; half-duplex links share the
+        # canonical id in both directions, full-duplex get one key per
+        # direction. Precomputed once — channel() is on the hot path.
+        self._channel: Dict[Tuple[Proc, Proc], Tuple[Proc, Proc]] = {}
+        self._channels: List[Tuple[Proc, Proc]] = []
+        for lid in self._links:
+            a, b = lid
+            if self._specs[lid].duplex == "half":
+                self._channel[(a, b)] = lid
+                self._channel[(b, a)] = lid
+                self._channels.append(lid)
+            else:
+                self._channel[(a, b)] = (a, b)
+                self._channel[(b, a)] = (b, a)
+                self._channels.append((a, b))
+                self._channels.append((b, a))
+        #: True when every link has unit bandwidth — the condition under
+        #: which nominal comm costs equal hop durations (pruning bounds
+        #: in BSA/DLS rely on this).
+        self.uniform_bandwidth: bool = all(
+            s.bandwidth == 1.0 for s in self._specs.values()
+        )
+        #: True when every link is half-duplex (the paper's model).
+        self.all_half_duplex: bool = all(
+            s.duplex == "half" for s in self._specs.values()
+        )
 
     def _check_proc(self, p: Proc) -> None:
         if not (0 <= p < self.n_procs):
@@ -111,6 +214,92 @@ class Topology:
         if x == y:
             return False
         return y in self._adj.get(x, ())
+
+    # ------------------------------------------------------------------
+    # link specs & channels
+    # ------------------------------------------------------------------
+    def spec(self, x: Proc, y: Proc) -> LinkSpec:
+        """The :class:`LinkSpec` of the link between ``x`` and ``y``."""
+        lid = link_id(x, y)
+        try:
+            return self._specs[lid]
+        except KeyError:
+            raise TopologyError(f"no link {lid} in topology {self.name!r}") from None
+
+    def bandwidth(self, x: Proc, y: Proc) -> float:
+        """Bandwidth multiplier of the link between ``x`` and ``y``."""
+        return self.spec(x, y).bandwidth
+
+    def duplex(self, x: Proc, y: Proc) -> str:
+        """Duplex mode (``"half"`` | ``"full"``) of the link ``x``—``y``."""
+        return self.spec(x, y).duplex
+
+    def channel(self, src: Proc, dst: Proc) -> Tuple[Proc, Proc]:
+        """Timeline key for traversing the link from ``src`` to ``dst``.
+
+        Half-duplex links return the canonical (sorted) link id for both
+        directions; full-duplex links return the ordered pair, so each
+        direction reserves on its own timeline.
+        """
+        try:
+            return self._channel[(src, dst)]
+        except KeyError:
+            raise TopologyError(
+                f"no link between {src} and {dst} in topology {self.name!r}"
+            ) from None
+
+    def channels(self) -> List[Tuple[Proc, Proc]]:
+        """All timeline keys: one per half-duplex link, two per
+        full-duplex link (sorted by link, direction ``(a,b)`` first)."""
+        return list(self._channels)
+
+    def with_link_specs(
+        self,
+        link_specs: Optional[Mapping[Link, LinkSpec]] = None,
+        default_spec: LinkSpec = DEFAULT_LINK_SPEC,
+        name: Optional[str] = None,
+    ) -> "Topology":
+        """A copy of this topology with different link specs."""
+        return Topology(
+            self.n_procs,
+            self._links,
+            name=name or self.name,
+            link_specs=link_specs,
+            default_spec=default_spec,
+        )
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-dict export (links sorted; specs only when non-default)."""
+        specs = {
+            f"{a}-{b}": self._specs[(a, b)].to_dict()
+            for (a, b) in self._links
+            if self._specs[(a, b)] != DEFAULT_LINK_SPEC
+        }
+        out = {
+            "name": self.name,
+            "n_procs": self.n_procs,
+            "links": [list(l) for l in self._links],
+        }
+        if specs:
+            out["link_specs"] = specs
+        return out
+
+    @classmethod
+    def from_dict(cls, d: Mapping) -> "Topology":
+        """Rebuild a topology exported by :meth:`to_dict`."""
+        specs: Dict[Link, LinkSpec] = {}
+        for key, spec in (d.get("link_specs") or {}).items():
+            a, b = key.split("-")
+            specs[(int(a), int(b))] = LinkSpec.from_dict(spec)
+        return cls(
+            d["n_procs"],
+            [tuple(l) for l in d["links"]],
+            name=d.get("name", "topology"),
+            link_specs=specs or None,
+        )
 
     def bfs_order(self, start: Proc) -> List[Proc]:
         """Breadth-first processor order from ``start`` (paper's
@@ -215,6 +404,119 @@ def mesh2d(rows: int, cols: int, name: Optional[str] = None) -> Topology:
             if r + 1 < rows:
                 links.append((p, p + cols))
     return Topology(rows * cols, links, name or f"mesh{rows}x{cols}")
+
+
+def torus2d(rows: int, cols: int, name: Optional[str] = None) -> Topology:
+    """2-D torus: a ``rows x cols`` mesh with wrap-around links.
+
+    Wrap links are only added when a dimension exceeds 2 (for dimension 2
+    the wrap would duplicate the direct mesh link).
+    """
+    if rows < 1 or cols < 1 or rows * cols < 3:
+        raise TopologyError(f"torus needs >= 3 processors, got {rows}x{cols}")
+    links = []
+    for r in range(rows):
+        for c in range(cols):
+            p = r * cols + c
+            if cols > 1:
+                if c + 1 < cols:
+                    links.append((p, p + 1))
+                elif cols > 2:
+                    links.append((p, r * cols))            # row wrap
+            if rows > 1:
+                if r + 1 < rows:
+                    links.append((p, p + cols))
+                elif rows > 2:
+                    links.append((p, c))                   # column wrap
+    return Topology(rows * cols, links, name or f"torus{rows}x{cols}")
+
+
+def fat_tree(
+    m: int,
+    branching: int = 2,
+    bandwidth_base: float = 2.0,
+    duplex: str = "half",
+    name: Optional[str] = None,
+) -> Topology:
+    """Fat tree over ``m`` processors (complete ``branching``-ary tree
+    layout, heap indexing): link bandwidth grows by ``bandwidth_base``
+    per level toward the root, the classic remedy for root congestion.
+
+    A link between depth-``d`` and depth-``d+1`` nodes has bandwidth
+    ``bandwidth_base ** (max_depth - 1 - d)`` so leaf-level links have
+    bandwidth 1 and capacity doubles (by default) every level up.
+    """
+    if m < 2:
+        raise TopologyError(f"fat tree needs >= 2 processors, got {m}")
+    if branching < 2:
+        raise TopologyError(f"fat tree branching must be >= 2, got {branching}")
+    if bandwidth_base <= 0:
+        raise TopologyError(f"bandwidth base must be positive, got {bandwidth_base}")
+
+    def depth(i: int) -> int:
+        d = 0
+        while i > 0:
+            i = (i - 1) // branching
+            d += 1
+        return d
+
+    links = [((i - 1) // branching, i) for i in range(1, m)]
+    max_depth = max(depth(i) for i in range(m))
+    specs = {
+        link_id(parent, child): LinkSpec(
+            bandwidth=float(bandwidth_base ** (max_depth - depth(child))),
+            duplex=duplex,
+        )
+        for parent, child in links
+    }
+    return Topology(
+        m, links, name or f"fattree{m}", link_specs=specs,
+        default_spec=LinkSpec(duplex=duplex),
+    )
+
+
+def apply_link_model(
+    topology: Topology,
+    duplex: str = "half",
+    bandwidth_skew: float = 1.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+) -> Topology:
+    """Overlay a (duplex, bandwidth) model onto an existing topology.
+
+    ``bandwidth_skew > 1`` samples each link's bandwidth independently
+    and deterministically from ``U[1, bandwidth_skew]`` (stable per-link
+    hashing: the draw for a link does not depend on evaluation order or
+    on the other links). ``bandwidth_skew == 1`` keeps each link's
+    *existing* bandwidth (so flipping a fat tree to full duplex preserves
+    its fat links). ``duplex`` applies to every link. With both at their
+    defaults the input topology is returned unchanged (same object).
+    """
+    if duplex not in DUPLEX_MODES:
+        raise TopologyError(f"duplex must be one of {DUPLEX_MODES}, got {duplex!r}")
+    if bandwidth_skew < 1.0:
+        raise TopologyError(
+            f"bandwidth_skew must be >= 1 (got {bandwidth_skew}); "
+            "bandwidths are sampled from U[1, skew]"
+        )
+    if duplex == "half" and bandwidth_skew == 1.0 and topology.all_half_duplex:
+        # true no-op: the requested model is already in effect (a
+        # full-duplex base must still be converted, so it falls through)
+        return topology
+    specs = {}
+    for lid in topology.links:
+        bw = (
+            topology.spec(*lid).bandwidth
+            if bandwidth_skew == 1.0
+            else stable_uniform(seed, ("link-bw", lid), 1.0, bandwidth_skew)
+        )
+        specs[lid] = LinkSpec(bandwidth=bw, duplex=duplex)
+    suffix = f"+{duplex}" if duplex != "half" else ""
+    if bandwidth_skew != 1.0:
+        suffix += f"+bw{bandwidth_skew:g}"
+    return topology.with_link_specs(
+        specs, name=name or (topology.name + suffix)
+    )
 
 
 def binary_tree(m: int, name: Optional[str] = None) -> Topology:

@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.schedule.schedule import Schedule
+from repro.util.tolerance import EPS
 
 
 def render_gantt(
@@ -39,7 +40,7 @@ def render_gantt(
         for t in schedule.proc_order[p]:
             slot = schedule.slots[t]
             r0 = min(height, int(slot.start / dt))
-            r1 = min(height, max(r0, int((slot.finish - 1e-9) / dt)))
+            r1 = min(height, max(r0, int((slot.finish - EPS) / dt)))
             label = str(t)[:col_width].center(col_width)
             # short slots can share a bucket: don't hide the earlier label
             if col[r0].strip() and r0 < r1:
@@ -50,12 +51,16 @@ def render_gantt(
         columns.append(col)
 
     if show_links:
-        for l in schedule.system.topology.links:
-            headers.append(f"L{l[0]}-{l[1]}")
+        topo = schedule.system.topology
+        for ch in topo.channels():
+            # half-duplex channel == canonical link id; full-duplex
+            # channels are per-direction and render with an arrow
+            sep = "-" if topo.duplex(*ch) == "half" else ">"
+            headers.append(f"L{ch[0]}{sep}{ch[1]}")
             col = [" " * col_width] * (height + 1)
-            for hop in schedule.link_order[l]:
+            for hop in schedule.link_order[ch]:
                 r0 = min(height, int(hop.start / dt))
-                r1 = min(height, max(r0, int((hop.finish - 1e-9) / dt)))
+                r1 = min(height, max(r0, int((hop.finish - EPS) / dt)))
                 label = f"{_short(hop.edge[0])}>{_short(hop.edge[1])}"[:col_width]
                 col[r0] = label.center(col_width)
                 for r in range(r0 + 1, r1 + 1):

@@ -93,8 +93,16 @@ class LinkPlanner:
     def walk_path(
         self, edge: Edge, path: List[Proc], ready: float
     ) -> Tuple[List[float], float]:
-        """Reserve every hop of ``path``; returns (hop starts, arrival)."""
+        """Reserve every hop of ``path``; returns (hop starts, arrival).
+
+        Hop *durations* are looked up by canonical link id; hop
+        *reservations* go to the traversal direction's channel (identical
+        on half-duplex links, per-direction on full-duplex ones).
+        """
         system = self.sched.system
+        # hot path: index the precomputed directed-pair -> channel map
+        # directly (it maps half-duplex directions to the canonical lid)
+        channel_of = system.topology._channel
         comm_cache = system._comm_cache
         comm_cost = system.comm_cost
         reserve = self.reserve
@@ -104,7 +112,7 @@ class LinkPlanner:
             duration = comm_cache.get((edge, lid))
             if duration is None:
                 duration = comm_cost(edge, lid)
-            start = reserve(lid, ready, duration)
+            start = reserve(channel_of[(a, b)], ready, duration)
             starts.append(start)
             ready = start + duration
         return starts, ready

@@ -5,7 +5,11 @@ State model
 * ``proc_order[p]``  — ordered list of task ids on processor ``p``.
 * ``slots[task]``    — the :class:`TaskSlot` (processor + times).
 * ``routes[edge]``   — the :class:`Route` of every non-local message.
-* ``link_order[l]``  — ordered list of :class:`MessageHop` on link ``l``.
+* ``link_order[ch]`` — ordered list of :class:`MessageHop` per link
+  *channel* (one shared timeline for a half-duplex link, one per
+  direction for a full-duplex link; see :meth:`Topology.channel`). With
+  the paper's all-half-duplex default the keys are exactly the
+  canonical link ids.
 
 Orders are authoritative; times are derived (via :func:`repro.schedule.
 settle.settle`) or set directly by monotonic schedulers. Mutators keep the
@@ -37,7 +41,7 @@ class Schedule:
         self.slots: Dict[TaskId, TaskSlot] = {}
         self.routes: Dict[Edge, Route] = {}
         self.link_order: Dict[Link, List[MessageHop]] = {
-            l: [] for l in system.topology.links
+            ch: [] for ch in system.topology.channels()
         }
         # Monotonic mutation counter + lazily built per-resource Timeline
         # indexes (see timeline docs in repro.util.intervals). Any mutation
@@ -74,9 +78,8 @@ class Schedule:
         return [slots[t] for t in self.proc_order[proc]]
 
     def link_busy(self, link: Link) -> List[MessageHop]:
-        """Start-sorted busy hops on ``link`` (assumes settled times).
-
-        Returns the *live* hop list — callers must not mutate it.
+        """Start-sorted busy hops on the given link *channel* (assumes
+        settled times). Returns the *live* hop list — do not mutate.
         """
         return self.link_order[link]
 
@@ -97,8 +100,8 @@ class Schedule:
         return tl
 
     def link_timeline(self, link: Link) -> Timeline:
-        """Cached :class:`Timeline` over ``link``'s busy hops (shared —
-        do not mutate; copy first)."""
+        """Cached :class:`Timeline` over the given link channel's busy
+        hops (shared — do not mutate; copy first)."""
         key = ("l", link)
         hit = self._tl_cache.get(key)
         if hit is not None and hit[0] == self._version:
@@ -183,15 +186,16 @@ class Schedule:
         if len(proc_path) < 2:
             raise SchedulingError(f"route for {edge} needs >= 2 processors")
         self.clear_route(edge)
+        topology = self.system.topology
         hops: List[MessageHop] = []
         for i, (a, b) in enumerate(zip(proc_path, proc_path[1:])):
-            if not self.system.topology.has_link(a, b):
+            if not topology.has_link(a, b):
                 raise SchedulingError(f"no link between {a} and {b} for {edge}")
             duration = self.system.comm_cost(edge, link_id(a, b))
             start = hop_starts[i] if hop_starts else 0.0
             hop = MessageHop(edge, a, b, start, start + duration, cost=duration)
             hops.append(hop)
-            order = self.link_order[hop.link]
+            order = self.link_order[topology.channel(a, b)]
             if hop_starts:
                 order.insert(self._bisect_hops(order, start), hop)
             else:
@@ -216,8 +220,9 @@ class Schedule:
         route = self.routes.pop(edge, None)
         if route is None:
             return
+        channel = self.system.topology.channel
         for hop in route.hops:
-            self.link_order[hop.link].remove(hop)
+            self.link_order[channel(hop.src, hop.dst)].remove(hop)
         self._version += 1
 
     def mark_local(self, edge: Edge) -> None:

@@ -5,11 +5,17 @@ Checks every invariant implied by the paper's model (§2.1):
 1. every task appears exactly once, on a real processor, with duration
    exactly ``h_ix * tau_i``;
 2. tasks on one processor never overlap;
-3. hops on one (half-duplex) link never overlap;
+3. link exclusivity under the topology's *duplex model*: on a
+   half-duplex link no two hops overlap regardless of direction; on a
+   full-duplex link hops may overlap only when they travel in opposite
+   directions. The rule is read from the topology's
+   :class:`~repro.network.topology.LinkSpec`, not from how the hops
+   happen to be stored — so a full-duplex schedule replayed on a
+   half-duplex system is caught;
 4. every inter-processor message is routed along a *contiguous* path of
    existing links from producer to consumer, departs no earlier than the
    producer finishes, respects store-and-forward hop ordering, and each
-   hop lasts exactly ``h'_ij,xy * c_ij``;
+   hop lasts exactly ``h'_ij,xy * c_ij / bandwidth``;
 5. every task starts no earlier than its data-ready time (all incoming
    message arrivals / local producer finishes);
 6. bookkeeping consistency between ``routes`` and ``link_order``.
@@ -17,17 +23,20 @@ Checks every invariant implied by the paper's model (§2.1):
 All violations are collected (not fail-fast) so tests can assert on the
 full picture. ``validate_schedule`` raises
 :class:`repro.errors.InvalidScheduleError` when anything is wrong.
+
+Tolerances come from :mod:`repro.util.tolerance` — the *same* constants
+the engine schedules with, so nothing can pass the engine's overlap
+check yet fail validation (or vice versa) in a tolerance gap.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List, Tuple
 
 from repro.errors import InvalidScheduleError
 from repro.schedule.schedule import Schedule
-from repro.util.intervals import EPS, intervals_overlap
-
-_TOL = 1e-6
+from repro.util.intervals import intervals_overlap
+from repro.util.tolerance import TOL as _TOL
 
 
 def schedule_violations(schedule: Schedule) -> List[str]:
@@ -74,18 +83,37 @@ def schedule_violations(schedule: Schedule) -> List[str]:
                     f"{b.task!r} [{b.start:.3f},{b.finish:.3f}) overlap"
                 )
 
-    # 3. link exclusivity -----------------------------------------------------
-    for l, hops in schedule.link_order.items():
-        shops = sorted(hops, key=lambda h: h.start)
-        for a, b in zip(shops, shops[1:]):
-            if intervals_overlap(a.start, a.finish, b.start, b.finish):
-                v.append(
-                    f"link {l}: hops {a.edge}[{a.start:.3f},{a.finish:.3f}) and "
-                    f"{b.edge}[{b.start:.3f},{b.finish:.3f}) overlap"
-                )
+    # 3. link exclusivity under the duplex model ------------------------------
+    # Group hops by *undirected* link and apply the topology's duplex rule
+    # (not the container layout): half-duplex forbids any overlap on the
+    # link, full-duplex forbids overlap only within one direction.
+    by_link: Dict[Tuple[int, int], List] = {}
+    for ch, hops in schedule.link_order.items():
         for h in hops:
-            if h.link != l:
-                v.append(f"link {l}: hop {h.edge} belongs to link {h.link}")
+            if not topo.has_link(h.src, h.dst):
+                v.append(f"channel {ch}: hop {h.edge} uses missing link ({h.src},{h.dst})")
+                continue
+            if topo.channel(h.src, h.dst) != ch:
+                v.append(
+                    f"channel {ch}: hop {h.edge} {h.src}->{h.dst} belongs to "
+                    f"channel {topo.channel(h.src, h.dst)}"
+                )
+            by_link.setdefault(h.link, []).append(h)
+    for l, hops in sorted(by_link.items()):
+        half = topo.duplex(*l) == "half"
+        groups = [hops] if half else [
+            [h for h in hops if (h.src, h.dst) == l],
+            [h for h in hops if (h.src, h.dst) != l],
+        ]
+        for group in groups:
+            shops = sorted(group, key=lambda h: h.start)
+            for a, b in zip(shops, shops[1:]):
+                if intervals_overlap(a.start, a.finish, b.start, b.finish):
+                    dir_note = "" if half else f" (direction {a.src}->{a.dst})"
+                    v.append(
+                        f"link {l}{dir_note}: hops {a.edge}[{a.start:.3f},{a.finish:.3f}) and "
+                        f"{b.edge}[{b.start:.3f},{b.finish:.3f}) overlap"
+                    )
 
     # 4 & 5. message routing and precedence ----------------------------------
     for u, uv in graph.edges():
@@ -130,8 +158,9 @@ def schedule_violations(schedule: Schedule) -> List[str]:
                     f"message {edge} hop {k} starts {hop.start:.3f} before "
                     f"its data is ready at {prev_finish:.3f}"
                 )
-            if hop not in schedule.link_order[hop.link]:
-                v.append(f"message {edge} hop {k} missing from link_order[{hop.link}]")
+            ch = topo.channel(hop.src, hop.dst)
+            if hop not in schedule.link_order[ch]:
+                v.append(f"message {edge} hop {k} missing from link_order[{ch}]")
             prev_finish = hop.finish
         if sv.start < route.arrival - _TOL:
             v.append(

@@ -24,7 +24,9 @@ mode (:func:`hotpath_mode` / :func:`set_hotpath_mode`, initialized from
 
 All comparisons use an absolute slack ``EPS`` to absorb floating-point
 noise: two reservations are considered non-overlapping when they overlap
-by less than ``EPS``.
+by less than ``EPS``. The constant lives in :mod:`repro.util.tolerance`
+(one source of truth shared with the validator) and is re-exported here
+for the many engine-side callers.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
-EPS = 1e-9
+from repro.util.tolerance import EPS
 
 #: hot-path modes: "fast" uses the indexed structures and memoized
 #: routing/cost lookups; "legacy" runs the original linear-rescan code.

@@ -85,8 +85,16 @@ class TestRunner:
         assert build_topology("hypercube", 16).n_links == 32
         assert build_topology("clique", 4).n_links == 6
         assert build_topology("random", 8).n_procs == 8
+        assert build_topology("torus", 16).n_links == 32      # 4x4, 2 per node
+        assert build_topology("fattree", 16).n_links == 15    # tree: m-1 links
         with pytest.raises(ConfigurationError):
-            build_topology("torus", 16)
+            build_topology("moebius", 16)
+        # a prime count only factors as 1 x m (structurally a ring) and
+        # 2 x 2 is a 4-cycle isomorphic to ring(4): refuse rather than
+        # silently alias topologies
+        for m in (7, 2, 4):
+            with pytest.raises(ConfigurationError):
+                build_topology("torus", m)
 
     def test_build_cell_system(self):
         cell = Cell("random", "random", 30, 1.0, "ring", "bsa", n_procs=4)

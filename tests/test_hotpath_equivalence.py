@@ -10,7 +10,8 @@ memoized routing/costs, bound-based candidate pruning):
   pins are machine-independent.
 * **legacy/fast cross-checks** — the same cell scheduled under both
   hot-path modes must serialize to byte-identical JSON (every task time
-  and every message hop).
+  and every message hop), on uniform *and* heterogeneous link models
+  (full-duplex, bandwidth-skewed torus and fat-tree cells).
 """
 
 from __future__ import annotations
@@ -61,9 +62,36 @@ PINNED_ROUTE_MODES = {
     ("random", "shortest"): 19751.398319758886,
 }
 
+#: heterogeneous link-model cells: full-duplex, bandwidth-skewed torus
+#: and fat tree — the new axes must be as reproducible as the defaults
+CELL_TORUS = Cell("random", "random", 30, 1.0, "torus", "x", n_procs=8,
+                  graph_seed=13, system_seed=13,
+                  duplex="full", bandwidth_skew=8.0)
+CELL_FATTREE = Cell("regular", "gauss", 40, 1.0, "fattree", "x", n_procs=8,
+                    graph_seed=5, system_seed=5,
+                    duplex="full", bandwidth_skew=8.0)
+
+PINNED_LINK_MODEL = {
+    ("torus", "bsa"): 1658.676355513322,
+    ("torus", "dls"): 1765.8967197009376,
+    ("torus", "heft"): 1468.0843657169328,
+    ("torus", "cpop"): 15946.444545927852,
+    ("torus", "etf"): 25233.547795115675,
+    ("fattree", "bsa"): 3953.1405192774328,
+    ("fattree", "dls"): 4877.120554511691,
+    ("fattree", "heft"): 3869.672688984098,
+    ("fattree", "cpop"): 62777.41692397765,
+    ("fattree", "etf"): 73787.79713678898,
+}
+
 
 def _cell(suite: str) -> Cell:
-    return CELL_REGULAR if suite == "regular" else CELL_RANDOM
+    return {
+        "regular": CELL_REGULAR,
+        "random": CELL_RANDOM,
+        "torus": CELL_TORUS,
+        "fattree": CELL_FATTREE,
+    }[suite]
 
 
 class TestPinnedMakespans:
@@ -87,9 +115,15 @@ class TestPinnedMakespans:
         )
         assert sched.schedule_length() == PINNED_ROUTE_MODES[(suite, route_mode)]
 
+    @pytest.mark.parametrize("suite,algorithm", sorted(PINNED_LINK_MODEL))
+    def test_link_model_cell_exact(self, suite, algorithm):
+        system = build_cell_system(_cell(suite))
+        sched = _SCHEDULERS[algorithm](system)
+        assert sched.schedule_length() == PINNED_LINK_MODEL[(suite, algorithm)]
+
 
 class TestLegacyFastIdentical:
-    @pytest.mark.parametrize("suite", ["regular", "random"])
+    @pytest.mark.parametrize("suite", ["regular", "random", "torus", "fattree"])
     @pytest.mark.parametrize("algorithm", ["bsa", "dls", "heft", "cpop", "etf"])
     def test_serialized_schedules_identical(self, suite, algorithm, both_modes):
         blobs = {}

@@ -1,7 +1,9 @@
 """Randomized invariant suite: the safety net for the hot-path refactor.
 
 ~50 seeded random (graph, topology, algorithm) combinations across the
-paper's four topology families and all five schedulers. For every combo:
+paper's four topology families and all five schedulers, plus a
+link-model sweep (duplex modes x bandwidth skews x all schedulers on
+all six topology families). For every combo:
 
 * the strict contention validator accepts the schedule (exclusive
   processors and links, store-and-forward chains, route contiguity);
@@ -64,7 +66,45 @@ def _combos():
     return combos
 
 
+def _link_model_combos():
+    """Duplex modes and bandwidth skews across all five schedulers and
+    all six topology families (incl. torus and fat tree)."""
+    combos = []
+    link_models = [("full", 1.0), ("half", 6.0), ("full", 6.0)]
+    topologies = TOPOLOGIES + ("torus", "fattree")
+    i = 0
+    for algorithm in ALGORITHMS:
+        for topology in topologies:
+            duplex, skew = link_models[i % len(link_models)]
+            combos.append(
+                Cell(
+                    suite="random", app="random", size=18 + 3 * (i % 4),
+                    granularity=(0.1, 1.0, 10.0)[i % 3], topology=topology,
+                    algorithm=algorithm, n_procs=8,
+                    graph_seed=900 + i, system_seed=1000 + i,
+                    duplex=duplex, bandwidth_skew=skew,
+                )
+            )
+            i += 1
+    # a couple of combos stacking every axis: heterogeneous h' factors on
+    # top of skewed-bandwidth full-duplex links
+    for j, (topology, algorithm) in enumerate(
+        [("torus", "bsa"), ("fattree", "dls"), ("random", "heft")]
+    ):
+        combos.append(
+            Cell(
+                suite="random", app="random", size=20,
+                granularity=1.0, topology=topology, algorithm=algorithm,
+                link_het=True, n_procs=8,
+                graph_seed=1100 + j, system_seed=1200 + j,
+                duplex="full", bandwidth_skew=4.0,
+            )
+        )
+    return combos
+
+
 COMBOS = _combos()
+LINK_MODEL_COMBOS = _link_model_combos()
 
 
 def test_combo_count():
@@ -76,7 +116,21 @@ def test_combo_count():
     assert len({c.key() for c in COMBOS}) == len(COMBOS)
 
 
-@pytest.mark.parametrize("cell", COMBOS, ids=lambda c: c.key())
+def test_link_model_combo_count():
+    # the sweep's contract: every scheduler meets every topology family
+    # (incl. torus/fattree) under a non-default link model
+    assert len(LINK_MODEL_COMBOS) >= 30
+    assert {c.algorithm for c in LINK_MODEL_COMBOS} == set(ALGORITHMS)
+    assert {c.topology for c in LINK_MODEL_COMBOS} == set(
+        TOPOLOGIES + ("torus", "fattree")
+    )
+    assert {(c.duplex, c.bandwidth_skew) for c in LINK_MODEL_COMBOS} == {
+        ("full", 1.0), ("half", 6.0), ("full", 6.0), ("full", 4.0)
+    }
+    assert len({c.key() for c in LINK_MODEL_COMBOS}) == len(LINK_MODEL_COMBOS)
+
+
+@pytest.mark.parametrize("cell", COMBOS + LINK_MODEL_COMBOS, ids=lambda c: c.key())
 def test_random_schedule_invariants(cell):
     system = build_cell_system(cell)
     sched = _SCHEDULERS[cell.algorithm](system)

@@ -23,10 +23,26 @@ class TestIncomingPaths:
         # route passes through B=1 already: 2 -> 1 -> 0; truncate at 1
         assert new_incoming_path([2, 1, 0], 2, 0, 1) == [2, 1]
 
-    def test_truncation_at_last_visit(self):
-        # B=1 appears twice: truncate at the *last* occurrence
+    def test_truncation_at_first_visit(self):
+        # B=1 appears twice: truncate at the *first* occurrence, so the
+        # result visits B exactly once (cutting at the last visit kept
+        # [2, 1, 3, 1], a path that doubles back through B)
         path = [2, 1, 3, 1, 0]
-        assert new_incoming_path(path, 2, 0, 1) == [2, 1, 3, 1]
+        assert new_incoming_path(path, 2, 0, 1) == [2, 1]
+
+    def test_truncated_path_never_revisits_new_proc(self):
+        # multi-visit paths (possible after repeated migrations): the
+        # truncated result must contain new_proc exactly once
+        for path, new_proc in [
+            ([2, 1, 3, 1, 0], 1),
+            ([5, 4, 3, 4, 2, 4, 0], 4),
+            ([2, 3, 0, 3, 6], 3),
+        ]:
+            out = new_incoming_path(path, path[0], path[-1], new_proc)
+            assert out.count(new_proc) == 1
+            assert out[-1] == new_proc
+            # result is a prefix of the old path: existing hops are reused
+            assert out == path[: len(out)]
 
     def test_truncation_disabled(self):
         assert new_incoming_path([2, 1, 0], 2, 0, 1, truncate=False) == [2, 1, 0, 1]
@@ -56,9 +72,24 @@ class TestOutgoingPaths:
         # old route 0 -> 1 -> 2; producer moves to 1: drop the front
         assert new_outgoing_path([0, 1, 2], 2, 0, 1) == [1, 2]
 
-    def test_truncation_at_first_visit(self):
+    def test_truncation_at_last_visit(self):
+        # B=1 appears twice: truncate at the *last* occurrence, so the
+        # result departs B exactly once (cutting at the first visit kept
+        # [1, 3, 1, 2], a path that doubles back through B)
         path = [0, 1, 3, 1, 2]
-        assert new_outgoing_path(path, 2, 0, 1) == [1, 3, 1, 2]
+        assert new_outgoing_path(path, 2, 0, 1) == [1, 2]
+
+    def test_truncated_path_never_revisits_new_proc(self):
+        for path, new_proc in [
+            ([0, 1, 3, 1, 2], 1),
+            ([0, 4, 3, 4, 2, 4, 5], 4),
+            ([6, 3, 0, 3, 2], 3),
+        ]:
+            out = new_outgoing_path(path, path[-1], path[0], new_proc)
+            assert out.count(new_proc) == 1
+            assert out[0] == new_proc
+            # result is a suffix of the old path: existing hops are reused
+            assert out == path[len(path) - len(out):]
 
     def test_truncation_disabled(self):
         assert new_outgoing_path([0, 1, 2], 2, 0, 1, truncate=False) == [1, 0, 1, 2]
