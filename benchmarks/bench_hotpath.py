@@ -1,14 +1,20 @@
-"""Hot-path speedup benchmark: legacy vs fast scheduling engine.
+"""Hot-path speedup benchmark: legacy vs fast vs incremental engines.
 
 Runs a Figure-3-style sweep (regular + random graphs x granularities x
-the paper's four 16-processor topologies x {BSA, DLS}) twice — once with
-the original linear-rescan hot path (``legacy``) and once with the
-indexed-timeline / memoized / pruned engine (``fast``) — and:
+the paper's four 16-processor topologies x {BSA, DLS}) three times —
+with the original linear-rescan hot path (``legacy``), the
+indexed-timeline / memoized / pruned engine (``fast``), and the
+change-driven settle + undo-log engine (``incremental``) — and:
 
-* asserts every schedule is **byte-identical** across modes (serializer
-  JSON compared cell by cell, which covers every task time and every
-  message hop);
-* reports the single-process speedup (target: >= 3x);
+* asserts every schedule is **byte-identical** across all three modes
+  (serializer JSON compared cell by cell, which covers every task time
+  and every message hop);
+* reports the single-process speedups (legacy->fast and
+  legacy->incremental);
+* runs the **settle/rollback microbench**: end-to-end BSA on n>=100-task
+  workloads, fast vs incremental — isolating what the incremental settle
+  engine and the undo-log rollback buy on the workloads they target
+  (recorded target: >= 2x aggregate);
 * optionally measures parallel-runner scaling (``--jobs N`` wall clock
   vs serial) on the same sweep;
 * writes everything to ``BENCH_hotpath.json`` (repo root by default) so
@@ -42,8 +48,24 @@ from repro.util.intervals import set_hotpath_mode
 
 TOPOLOGIES = ("ring", "hypercube", "clique", "random")
 ALGORITHMS = ("bsa", "dls")
+MODES = ("legacy", "fast", "incremental")
 
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
+
+#: settle/rollback microbench: BSA end-to-end on n>=100-task workloads,
+#: fast vs incremental (same indexed planning; the delta is exactly the
+#: incremental settle engine + undo-log rollback)
+MICROBENCH_WORKLOADS = {
+    "default": [
+        ("regular", "gauss", 250, 1.0),
+        ("regular", "laplace", 300, 1.0),
+        ("random", "random", 300, 1.0),
+        ("regular", "gauss", 400, 1.0),
+    ],
+    "smoke": [
+        ("regular", "gauss", 150, 1.0),
+    ],
+}
 
 
 def sweep_cells(preset: str) -> List[Cell]:
@@ -86,45 +108,108 @@ def _schedule(cell: Cell):
 
 
 def run_single_process(cells: List[Cell]) -> Dict:
-    """Time every cell under both modes; verify bit-identical schedules."""
-    totals = {"legacy": 0.0, "fast": 0.0}
+    """Time every cell under all three modes; verify bit-identical
+    schedules across the whole mode set."""
+    totals = {m: 0.0 for m in MODES}
     per_topology: Dict[str, Dict[str, float]] = {
-        t: {"legacy": 0.0, "fast": 0.0} for t in TOPOLOGIES
+        t: {m: 0.0 for m in MODES} for t in TOPOLOGIES
     }
     mismatches: List[str] = []
     for i, cell in enumerate(cells):
         blobs = {}
-        for mode in ("legacy", "fast"):
+        for mode in MODES:
             set_hotpath_mode(mode)
             sched, elapsed = _schedule(cell)
             totals[mode] += elapsed
             per_topology[cell.topology][mode] += elapsed
             blobs[mode] = schedule_to_json(sched)
-            if mode == "fast":
+            if mode == "incremental":
                 validate_schedule(sched)
-        if blobs["legacy"] != blobs["fast"]:
+        if len(set(blobs.values())) != 1:
             mismatches.append(cell.key())
         sys.stderr.write(
             f"\r[{i + 1}/{len(cells)}] legacy {totals['legacy']:.1f}s "
-            f"fast {totals['fast']:.1f}s"
+            f"fast {totals['fast']:.1f}s "
+            f"incremental {totals['incremental']:.1f}s"
         )
     sys.stderr.write("\n")
-    set_hotpath_mode("fast")
+    set_hotpath_mode("incremental")
     return {
         "cells": len(cells),
         "legacy_s": round(totals["legacy"], 3),
         "fast_s": round(totals["fast"], 3),
+        "incremental_s": round(totals["incremental"], 3),
         "speedup": round(totals["legacy"] / totals["fast"], 2),
+        "speedup_incremental": round(totals["legacy"] / totals["incremental"], 2),
         "identical_schedules": not mismatches,
         "mismatched_cells": mismatches,
         "per_topology": {
             t: {
                 "legacy_s": round(v["legacy"], 3),
                 "fast_s": round(v["fast"], 3),
+                "incremental_s": round(v["incremental"], 3),
                 "speedup": round(v["legacy"] / v["fast"], 2) if v["fast"] else None,
+                "speedup_incremental": (
+                    round(v["legacy"] / v["incremental"], 2)
+                    if v["incremental"] else None
+                ),
             }
             for t, v in per_topology.items()
         },
+    }
+
+
+def run_settle_microbench(preset: str, reps: int = 3) -> Dict:
+    """End-to-end BSA, fast vs incremental, on n>=100-task workloads.
+
+    Both modes share the indexed planning substrate; the measured delta
+    is exactly the change-driven settle engine plus the undo-log
+    rollback replacing per-commit snapshots. Identity is asserted via
+    the serializer like the main sweep. Each workload is timed ``reps``
+    times per mode (interleaved) and the minimum kept — the bench is
+    contention-noise-prone on shared CI boxes.
+    """
+    workloads = MICROBENCH_WORKLOADS[preset]
+    best: Dict[tuple, float] = {}
+    blobs: Dict[tuple, str] = {}
+    for rep in range(reps):
+        for suite, app, size, gran in workloads:
+            cell = Cell(suite, app, size, gran, "hypercube", "bsa",
+                        n_procs=16, graph_seed=1, system_seed=1)
+            for mode in ("fast", "incremental"):
+                set_hotpath_mode(mode)
+                sched, elapsed = _schedule(cell)
+                key = (suite, app, size, mode)
+                best[key] = min(best.get(key, float("inf")), elapsed)
+                if rep == 0:
+                    validate_schedule(sched)
+                    blobs[key] = schedule_to_json(sched)
+    set_hotpath_mode("incremental")
+    per_workload = []
+    tot = {"fast": 0.0, "incremental": 0.0}
+    identical = True
+    for suite, app, size, gran in workloads:
+        f = best[(suite, app, size, "fast")]
+        i = best[(suite, app, size, "incremental")]
+        tot["fast"] += f
+        tot["incremental"] += i
+        same = (blobs[(suite, app, size, "fast")]
+                == blobs[(suite, app, size, "incremental")])
+        identical = identical and same
+        per_workload.append({
+            "workload": f"{app}-n{size}",
+            "n_tasks": size,
+            "fast_s": round(f, 3),
+            "incremental_s": round(i, 3),
+            "speedup": round(f / i, 2),
+            "identical": same,
+        })
+    return {
+        "workloads": per_workload,
+        "fast_s": round(tot["fast"], 3),
+        "incremental_s": round(tot["incremental"], 3),
+        "speedup": round(tot["fast"] / tot["incremental"], 2),
+        "identical_schedules": identical,
     }
 
 
@@ -166,7 +251,14 @@ def main(argv=None) -> int:
     }
     sp = report["single_process"]
     print(f"single-process: legacy {sp['legacy_s']}s -> fast {sp['fast_s']}s "
-          f"= {sp['speedup']}x, identical={sp['identical_schedules']}")
+          f"= {sp['speedup']}x -> incremental {sp['incremental_s']}s "
+          f"= {sp['speedup_incremental']}x, identical={sp['identical_schedules']}")
+
+    report["settle_microbench"] = run_settle_microbench(args.preset)
+    mb = report["settle_microbench"]
+    print(f"settle/rollback microbench ({len(mb['workloads'])} BSA workloads, "
+          f"n>=100): fast {mb['fast_s']}s -> incremental {mb['incremental_s']}s "
+          f"= {mb['speedup']}x, identical={mb['identical_schedules']}")
 
     if args.jobs and args.jobs > 1:
         report["jobs_scaling"] = run_jobs_scaling(cells, args.jobs)
@@ -181,7 +273,7 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"report written to {out}")
 
-    if not sp["identical_schedules"]:
+    if not sp["identical_schedules"] or not mb["identical_schedules"]:
         print("FAIL: schedules differ between modes", file=sys.stderr)
         return 1
     return 0

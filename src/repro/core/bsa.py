@@ -46,7 +46,7 @@ from repro.core.migration import (
 from repro.core.serialization import PivotSelection, serial_injection
 from repro.schedule.linkplan import arrival_lower_bound
 from repro.schedule.schedule import Schedule
-from repro.util.intervals import fast_path_enabled
+from repro.util.intervals import fast_path_enabled, incremental_enabled
 from repro.util.rng import RngStream
 from repro.util.tolerance import EPS as _EPS
 
@@ -206,8 +206,14 @@ class BSAScheduler:
     ) -> None:
         opts = self.options
         current_ft = sched.slots[task].finish
+        vip = None
         if fast_path_enabled():
-            plans, best = self._evaluate_candidates_pruned(sched, task, pivot, neighbors)
+            # the pruned evaluator already derives the VIP for its
+            # must-evaluate rule; reuse it rather than re-scanning
+            # predecessor arrivals below
+            plans, best, vip = self._evaluate_candidates_pruned(
+                sched, task, pivot, neighbors
+            )
         else:
             plans = []
             for nb in neighbors:
@@ -220,6 +226,8 @@ class BSAScheduler:
                 )
                 self.stats.n_evaluated += 1
             best = min(plans, key=lambda p: (p.ft, p.dst))
+            if opts.vip_follow:
+                _, vip = current_drt_vip(sched, task)
 
         if best.ft < current_ft - _EPS:
             self._commit_transactional(sched, best)
@@ -227,7 +235,6 @@ class BSAScheduler:
 
         if not opts.vip_follow:
             return
-        _, vip = current_drt_vip(sched, task)
         if vip is None or sched.proc_of(vip) == pivot:
             return
         vip_proc = sched.proc_of(vip)
@@ -243,7 +250,7 @@ class BSAScheduler:
         task: TaskId,
         pivot: Proc,
         neighbors: List[Proc],
-    ) -> Tuple[List[MigrationPlan], MigrationPlan]:
+    ) -> Tuple[List[MigrationPlan], MigrationPlan, Optional[TaskId]]:
         """Evaluate candidate destinations with sound lower-bound pruning.
 
         Every plan's finish time satisfies ``ft >= DRT_lb +
@@ -291,6 +298,7 @@ class BSAScheduler:
             if f > finish_lb:
                 finish_lb = f
 
+        vip: Optional[TaskId] = None
         vip_proc: Optional[Proc] = None
         if opts.vip_follow:
             _, vip = current_drt_vip(sched, task)
@@ -314,8 +322,9 @@ class BSAScheduler:
         plans: List[MigrationPlan] = []
         best: Optional[MigrationPlan] = None
         for bound, nb in bounds:
-            # the 1e-9 margin absorbs the evaluator's 1e-12 epsilon-max
-            # in DRT selection; candidates inside the margin are simply
+            # the EPS (1e-9) margin absorbs the evaluator's DRT_EPS
+            # (1e-12) epsilon-max in DRT selection (both live in
+            # util/tolerance.py); candidates inside the margin are simply
             # evaluated, so pruning never changes the selected plan
             if best is not None and nb != vip_proc and bound > best.ft + _EPS:
                 self.stats.n_pruned += 1
@@ -329,12 +338,34 @@ class BSAScheduler:
             plans.append(plan)
             if best is None or (plan.ft, plan.dst) < (best.ft, best.dst):
                 best = plan
-        return plans, best
+        return plans, best, vip
 
     def _commit_transactional(self, sched: Schedule, plan: MigrationPlan) -> bool:
         """Commit a migration; revert and reject it if the resulting order
         constraints are contradictory (possible after multi-phase reroutes
-        leave stale slot positions — rare, but must never corrupt state)."""
+        leave stale slot positions — rare, but must never corrupt state).
+
+        Rollback machinery by engine mode: ``incremental`` records an
+        undo log of the actual mutations (O(#mutations), no per-commit
+        capture cost); ``fast`` captures a shallow container snapshot;
+        ``legacy`` deep-copies the schedule.
+        """
+        if incremental_enabled():
+            txn = sched.begin_txn()
+            try:
+                commit_migration(
+                    sched, plan,
+                    insertion=self.options.insertion,
+                    truncate=self.options.truncate_routes,
+                )
+            except CycleError:
+                txn.rollback()
+                self.stats.n_rejected_migrations += 1
+                return False
+            sched.commit_txn()
+            self.stats.n_migrations += 1
+            return True
+
         if fast_path_enabled():
             snapshot = sched.snapshot()
             restore = sched.restore_snapshot

@@ -40,7 +40,9 @@ from repro.network.topology import Proc, link_id
 from repro.schedule.events import Edge
 from repro.schedule.linkplan import LinkPlanner, slot_start
 from repro.schedule.schedule import Schedule
-from repro.schedule.settle import settle
+from repro.schedule.settle import settle, settle_incremental
+from repro.util.intervals import incremental_enabled
+from repro.util.tolerance import DRT_EPS
 
 #: incoming-route plan kinds
 _LOCAL, _TRUNCATE, _EXTEND, _REBUILD = "local", "truncate", "extend", "rebuild"
@@ -77,13 +79,24 @@ def current_drt_vip(sched: Schedule, task: TaskId) -> Tuple[float, Optional[Task
     """Data-ready time and VIP of ``task`` in its *current* placement.
 
     The VIP (very important predecessor) is the predecessor whose message
-    arrives last; ties resolve to the earliest predecessor in graph order.
+    arrives last; ties (arrivals within ``DRT_EPS`` of the maximum)
+    resolve to the earliest predecessor in graph order — which is *not*
+    necessarily the first one ``graph.predecessors`` yields, since edge
+    insertion order can differ from task insertion order (locked by
+    ``tests/test_migration.py``'s diamond-graph tie test).
     """
+    graph = sched.system.graph
     drt, vip = 0.0, None
-    for k in sched.system.graph.predecessors(task):
+    for k in graph.predecessors(task):
         arr = sched.arrival_time((k, task))
-        if arr > drt + 1e-12:
+        if arr > drt + DRT_EPS:
             drt, vip = arr, k
+        elif (
+            vip is not None
+            and arr >= drt - DRT_EPS
+            and graph.task_index(k) < graph.task_index(vip)
+        ):
+            vip = k
     return drt, vip
 
 
@@ -118,8 +131,16 @@ def evaluate_migration(
                 sched, planner, edge, producer_proc, src, dst, truncate
             )
         in_plans[edge] = plan
-        if plan.arrival > drt + 1e-12:
+        if plan.arrival > drt + DRT_EPS:
             drt, vip = plan.arrival, k
+        elif (
+            vip is not None
+            and plan.arrival >= drt - DRT_EPS
+            and graph.task_index(k) < graph.task_index(vip)
+        ):
+            # same graph-order tie-break as current_drt_vip, so
+            # MigrationPlan.vip agrees with the documented semantics
+            vip = k
 
     cost = system.exec_cost(task, dst)
     st = slot_start(sched, dst, drt, cost, insertion)
@@ -180,7 +201,14 @@ def commit_migration(
     insertion: bool = True,
     truncate: bool = True,
 ) -> None:
-    """Apply ``plan`` to the schedule and settle times."""
+    """Apply ``plan`` to the schedule and settle times.
+
+    In incremental hot-path mode the final settle recomputes only the
+    affected cone, seeded by the transaction's mutation log (an
+    anonymous transaction is opened if the caller didn't provide one);
+    the schedule must therefore be settled on entry, which every BSA
+    state is. Other modes run the full settle pass.
+    """
     system = sched.system
     graph = system.graph
     task, src, dst = plan.task, plan.src, plan.dst
@@ -189,38 +217,51 @@ def commit_migration(
             f"stale migration plan: {task!r} on P{sched.proc_of(task)}, plan expects P{src}"
         )
 
-    sched.remove_task(task)
+    own_txn = incremental_enabled() and sched.txn is None
+    if own_txn:
+        sched.begin_txn()
+    try:
+        # incoming messages ----------------------------------------------
+        sched.remove_task(task)
+        for edge, rp in plan.in_plans.items():
+            route = sched.routes.get(edge)
+            if rp.kind == _LOCAL:
+                sched.mark_local(edge)
+            elif rp.kind == _REBUILD:
+                sched.set_route(edge, rp.path, hop_starts=rp.hop_starts)
+            elif rp.kind == _TRUNCATE:
+                starts = [h.start for h in route.hops[: len(rp.path) - 1]]
+                sched.set_route(edge, rp.path, hop_starts=starts)
+            else:  # extend
+                starts = [h.start for h in route.hops] if (route and not route.is_local) else []
+                sched.set_route(edge, rp.path, hop_starts=starts + rp.hop_starts)
 
-    # incoming messages --------------------------------------------------
-    for edge, rp in plan.in_plans.items():
-        route = sched.routes.get(edge)
-        if rp.kind == _LOCAL:
-            sched.mark_local(edge)
-        elif rp.kind == _REBUILD:
-            sched.set_route(edge, rp.path, hop_starts=rp.hop_starts)
-        elif rp.kind == _TRUNCATE:
-            starts = [h.start for h in route.hops[: len(rp.path) - 1]]
-            sched.set_route(edge, rp.path, hop_starts=starts)
-        else:  # extend
-            starts = [h.start for h in route.hops] if (route and not route.is_local) else []
-            sched.set_route(edge, rp.path, hop_starts=starts + rp.hop_starts)
+        # outgoing messages ----------------------------------------------
+        out_planner = LinkPlanner(sched, insertion)
+        for j in graph.successors(task):
+            if j not in sched.slots:
+                continue  # partial schedules (not produced by BSA) tolerate this
+            edge = (task, j)
+            consumer_proc = sched.proc_of(j)
+            if plan.route_mode == "shortest":
+                _commit_out_shortest(sched, out_planner, edge, dst, consumer_proc, plan.ft)
+            else:
+                _commit_out_incremental(
+                    sched, out_planner, edge, src, dst, consumer_proc, plan.ft, truncate
+                )
 
-    # outgoing messages ---------------------------------------------------
-    out_planner = LinkPlanner(sched, insertion)
-    for j in graph.successors(task):
-        if j not in sched.slots:
-            continue  # partial schedules (not produced by BSA) tolerate this
-        edge = (task, j)
-        consumer_proc = sched.proc_of(j)
-        if plan.route_mode == "shortest":
-            _commit_out_shortest(sched, out_planner, edge, dst, consumer_proc, plan.ft)
+        sched.place_task(task, dst, start=plan.st)
+        txn = sched.txn
+        if txn is not None and incremental_enabled():
+            settle_incremental(sched, txn.seed_tasks, txn.seed_hops)
         else:
-            _commit_out_incremental(
-                sched, out_planner, edge, src, dst, consumer_proc, plan.ft, truncate
-            )
-
-    sched.place_task(task, dst, start=plan.st)
-    settle(sched)
+            settle(sched)
+    finally:
+        # an anonymous transaction must not leak; on error the schedule
+        # stays partially mutated exactly as in the other modes — the
+        # transactional caller (BSA) owns rollback, not us
+        if own_txn and sched.txn is not None:
+            sched.commit_txn()
 
 
 def _commit_out_shortest(

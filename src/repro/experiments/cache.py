@@ -14,7 +14,10 @@ Two layouts:
   (crc32) over ``N`` shard files so a parallel sweep flushes only the
   shards it touched and a huge grid never rewrites one monolithic file.
   This is the default layout (``REPRO_CACHE_SHARDS``, default 8, under
-  ``REPRO_CACHE_DIR``).
+  ``REPRO_CACHE_DIR``) and applies to *any* non-``.json`` path:
+  explicit directories honor ``REPRO_CACHE_SHARDS`` and import a
+  sibling pre-sharding ``<directory>.json`` file exactly like the
+  env-derived default does.
 
 The cache is versioned: changing the library's algorithmic behavior
 should bump ``CACHE_VERSION`` so stale numbers are never mixed in.
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 import zlib
 from typing import Dict, Iterable, Optional, Set, Tuple
@@ -37,12 +41,21 @@ class ResultCache:
     """A dict-like JSON cache for cell results (single-file or sharded)."""
 
     def __init__(self, path: Optional[str] = None, shards: Optional[int] = None):
-        legacy_file: Optional[str] = None
         if path is None:
             root = os.environ.get("REPRO_CACHE_DIR", ".repro_cache")
             path = os.path.join(root, "results")
-            legacy_file = os.path.join(root, "results.json")
-            if shards is None:
+        # A ``.json`` path is the single-file layout; anything else is a
+        # shard directory. Directory construction — default *or*
+        # explicit — honors REPRO_CACHE_SHARDS (explicit ``shards=``
+        # still wins); it used to be honored only for ``path=None``.
+        # Exception: an existing *file* at an extension-less path is a
+        # cache written under the old single-file default for that
+        # spelling — keep reading/writing it as one rather than
+        # shadowing it with a same-named directory.
+        if shards is None and not path.endswith(".json"):
+            if os.path.isfile(path):
+                shards = 1
+            else:
                 try:
                     shards = int(os.environ.get("REPRO_CACHE_SHARDS",
                                                 DEFAULT_SHARDS))
@@ -54,9 +67,13 @@ class ResultCache:
         self._shards: Dict[int, Dict[str, dict]] = {}
         self._loaded: Set[int] = set()
         self._dirty: Set[int] = set()
+        self._flush_warned = False
+        # a pre-sharding single-file cache sits next to the shard
+        # directory under the same stem (<dir>.json) — import it for
+        # explicit directories too, not just the env-derived default
+        legacy_file = path + ".json"
         if (
-            legacy_file is not None
-            and self.sharded
+            self.sharded
             and not os.path.isdir(self.path)
             and os.path.isfile(legacy_file)
         ):
@@ -139,25 +156,43 @@ class ResultCache:
         if not self._dirty:
             return
         directory = self.path if self.sharded else (os.path.dirname(self.path) or ".")
-        os.makedirs(directory, exist_ok=True)
+        try:
+            os.makedirs(directory, exist_ok=True)
+        except OSError as exc:
+            self._warn_once(directory, exc)
+            return  # every shard stays dirty; the next flush retries
         written = []
         for idx in sorted(self._dirty):
             blob = {"version": CACHE_VERSION, "results": self._shards.get(idx, {})}
             try:
                 fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            except OSError:
+            except OSError as exc:
+                self._warn_once(directory, exc)
                 continue
             try:
                 with os.fdopen(fd, "w") as fh:
                     json.dump(blob, fh)
                 os.replace(tmp, self._shard_path(idx))
                 written.append(idx)
-            except OSError:
+            except OSError as exc:
+                self._warn_once(directory, exc)
                 try:
                     os.unlink(tmp)
                 except OSError:
                     pass
         self._dirty.difference_update(written)
+
+    def _warn_once(self, directory: str, exc: OSError) -> None:
+        """A persistently failing flush must not be silent: results stay
+        in memory and every flush retries, but the operator should know
+        persistence is off. One warning per cache instance."""
+        if not self._flush_warned:
+            self._flush_warned = True
+            sys.stderr.write(
+                f"repro: result-cache flush to {directory!r} failed "
+                f"({exc}); results kept in memory, will retry on the "
+                f"next flush\n"
+            )
 
     def __len__(self) -> int:
         return sum(

@@ -45,6 +45,9 @@ class TaskGraph:
         self._cost: Dict[TaskId, float] = {}
         self._succ: Dict[TaskId, Dict[TaskId, float]] = {}
         self._pred: Dict[TaskId, Dict[TaskId, float]] = {}
+        self._index: Dict[TaskId, int] = {}
+        self._zero_comm: Optional[bool] = None  # cache for has_zero_cost_edge
+        self._pred_edges: Dict[TaskId, tuple] = {}  # cache for pred_edges
 
     # ------------------------------------------------------------------
     # construction
@@ -55,6 +58,7 @@ class TaskGraph:
             raise GraphError(f"duplicate task {task!r}")
         if cost <= 0:
             raise GraphError(f"task {task!r} must have positive cost, got {cost}")
+        self._index[task] = len(self._cost)
         self._cost[task] = float(cost)
         self._succ[task] = {}
         self._pred[task] = {}
@@ -73,6 +77,8 @@ class TaskGraph:
             raise GraphError(f"edge {src!r}->{dst!r} must have non-negative cost, got {cost}")
         self._succ[src][dst] = float(cost)
         self._pred[dst][src] = float(cost)
+        self._zero_comm = None
+        self._pred_edges.pop(dst, None)
 
     def set_task_cost(self, task: TaskId, cost: float) -> None:
         if task not in self._cost:
@@ -88,6 +94,7 @@ class TaskGraph:
             raise GraphError(f"edge cost must be non-negative, got {cost}")
         self._succ[src][dst] = float(cost)
         self._pred[dst][src] = float(cost)
+        self._zero_comm = None
 
     # ------------------------------------------------------------------
     # inspection
@@ -104,6 +111,14 @@ class TaskGraph:
         """All task ids in insertion order."""
         return list(self._cost)
 
+    def task_index(self, task: TaskId) -> int:
+        """Position of ``task`` in graph (insertion) order — the order
+        :meth:`tasks` returns. O(1); used for deterministic tie-breaks."""
+        try:
+            return self._index[task]
+        except KeyError:
+            raise GraphError(f"unknown task {task!r}") from None
+
     def edges(self) -> List[Edge]:
         """All edges in deterministic (source-insertion) order."""
         return [(u, v) for u in self._cost for v in self._succ[u]]
@@ -113,6 +128,28 @@ class TaskGraph:
 
     def has_edge(self, src: TaskId, dst: TaskId) -> bool:
         return dst in self._succ.get(src, {})
+
+    def pred_edges(self, task: TaskId) -> tuple:
+        """Cached ``((pred, (pred, task)), ...)`` pairs for every
+        incoming edge — lets hot loops index route tables without
+        allocating a fresh edge tuple per predecessor per visit."""
+        e = self._pred_edges.get(task)
+        if e is None:
+            e = self._pred_edges[task] = tuple(
+                (u, (u, task)) for u in self._pred[task]
+            )
+        return e
+
+    def has_zero_cost_edge(self) -> bool:
+        """True when any message has nominal cost 0 (cached; such hops
+        have zero duration on every link, which the incremental settle
+        engine's cycle-growth argument cannot handle — it falls back to
+        the full pass for these graphs)."""
+        if self._zero_comm is None:
+            self._zero_comm = any(
+                c == 0.0 for s in self._succ.values() for c in s.values()
+            )
+        return self._zero_comm
 
     def cost(self, task: TaskId) -> float:
         """Nominal execution cost ``tau_i``."""

@@ -17,7 +17,7 @@ from repro.network.topology import Link, Proc, link_id
 Edge = Tuple[TaskId, TaskId]
 
 
-@dataclass
+@dataclass(slots=True)
 class TaskSlot:
     """Execution of one task on one processor over ``[start, finish)``.
 
@@ -25,6 +25,9 @@ class TaskSlot:
     the settle pass need not re-derive it (``finish - start`` is *not* a
     substitute: after float rounding it can differ from the cost in the
     last bit). ``None`` means "unknown, look it up".
+
+    ``slots=True``: these objects are the unit of work of every settle
+    pass; slotted attribute access measurably speeds the hottest loops.
     """
 
     task: TaskId
@@ -38,12 +41,18 @@ class TaskSlot:
         return self.finish - self.start
 
 
-@dataclass
+@dataclass(slots=True)
 class MessageHop:
     """One link traversal of a message.
 
     ``src``/``dst`` give the direction; ``link`` is the canonical
     (undirected) link id, i.e. ``link == link_id(src, dst)``.
+
+    ``_rpos``/``_chan`` are backrefs stamped by
+    :meth:`repro.schedule.schedule.Schedule.set_route` (index within the
+    owning route, reservation channel) for the incremental settle
+    engine; they carry no independent information, so they are excluded
+    from comparison and repr.
     """
 
     edge: Edge
@@ -53,6 +62,8 @@ class MessageHop:
     finish: float = 0.0
     #: exact communication cost at creation (see TaskSlot.cost)
     cost: Optional[float] = None
+    _rpos: int = field(default=0, compare=False, repr=False)
+    _chan: Optional[Link] = field(default=None, compare=False, repr=False)
 
     @property
     def link(self) -> Link:

@@ -10,15 +10,16 @@ the contention substrate stays identical across algorithms.
 
 Two implementations, selected by the process-wide hot-path mode:
 
-* *fast* (default) — query the schedule's cached :class:`Timeline` with
-  an indexed jump, merged on the fly (two-pointer walk) with the
-  planner's small per-link tentative-reservation lists; nothing is
-  copied or re-sorted;
+* *indexed* (modes ``fast`` and ``incremental`` — planning is identical
+  in both; ``incremental`` only changes settle/rollback downstream) —
+  query the schedule's cached :class:`Timeline` with an indexed jump,
+  merged on the fly (two-pointer walk) with the planner's small
+  per-link tentative-reservation lists; nothing is copied or re-sorted;
 * *legacy* — the original code: re-merge ``sorted(committed + planned)``
   object lists and scan from time zero on every reservation.
 
-Both yield bit-identical plans (see ``tests/test_hotpath_equivalence.py``
-and ``benchmarks/bench_hotpath.py``).
+All modes yield bit-identical plans (see
+``tests/test_hotpath_equivalence.py`` and ``benchmarks/bench_hotpath.py``).
 """
 
 from __future__ import annotations

@@ -43,13 +43,29 @@ class Schedule:
         self.link_order: Dict[Link, List[MessageHop]] = {
             ch: [] for ch in system.topology.channels()
         }
-        # Monotonic mutation counter + lazily built per-resource Timeline
-        # indexes (see timeline docs in repro.util.intervals). Any mutation
-        # bumps the version; cached timelines are rebuilt on demand when
-        # their stamp is stale. BSA evaluates hundreds of candidate moves
-        # between mutations, so the caches are hit far more than rebuilt.
+        # Lazily built per-resource Timeline indexes (see timeline docs
+        # in repro.util.intervals), invalidated at *resource*
+        # granularity: every mutator bumps the version of exactly the
+        # processors/channels it touched, so a commit that rearranges
+        # two processors and three links leaves every other resource's
+        # cached timeline valid. ``_epoch`` covers wholesale changes
+        # (full resort, snapshot restore, rollback); ``_version`` stays
+        # as the coarse any-mutation counter. BSA evaluates hundreds of
+        # candidate moves between mutations, so the caches are hit far
+        # more than rebuilt.
         self._version: int = 0
-        self._tl_cache: Dict[Tuple[str, object], Tuple[int, Timeline]] = {}
+        self._epoch: int = 0
+        self._res_version: Dict[Tuple[str, object], int] = {}
+        self._tl_cache: Dict[Tuple[str, object], Tuple[Tuple[int, int], Timeline]] = {}
+        # Occupant-position indexes for the incremental settle engine,
+        # versioned by *order* changes only (a settle rewrites times on
+        # the pivot every commit but rarely reorders it, so these maps
+        # survive most commits; timelines, which depend on times, do not).
+        self._ord_version: Dict[Tuple[str, object], int] = {}
+        self._pos_cache: Dict[Tuple[str, object], Tuple[Tuple[int, int], Dict]] = {}
+        # Open transaction (undo log + incremental-settle seed set); see
+        # begin_txn. None outside a transactional commit.
+        self._txn: Optional["ScheduleTxn"] = None
 
     # ------------------------------------------------------------------
     # queries
@@ -91,24 +107,50 @@ class Schedule:
         :meth:`Timeline.earliest_gap_merged` instead.
         """
         key = ("p", proc)
+        stamp = (self._epoch, self._res_version.get(key, 0))
         hit = self._tl_cache.get(key)
-        if hit is not None and hit[0] == self._version:
+        if hit is not None and hit[0] == stamp:
             return hit[1]
         slots = self.slots
         tl = Timeline.from_items([slots[t] for t in self.proc_order[proc]])
-        self._tl_cache[key] = (self._version, tl)
+        self._tl_cache[key] = (stamp, tl)
         return tl
 
     def link_timeline(self, link: Link) -> Timeline:
         """Cached :class:`Timeline` over the given link channel's busy
         hops (shared — do not mutate; copy first)."""
         key = ("l", link)
+        stamp = (self._epoch, self._res_version.get(key, 0))
         hit = self._tl_cache.get(key)
-        if hit is not None and hit[0] == self._version:
+        if hit is not None and hit[0] == stamp:
             return hit[1]
         tl = Timeline.from_items(self.link_order[link])
-        self._tl_cache[key] = (self._version, tl)
+        self._tl_cache[key] = (stamp, tl)
         return tl
+
+    def proc_positions(self, proc: Proc) -> Dict[TaskId, int]:
+        """Cached ``task -> index`` map over ``proc_order[proc]`` (shared
+        — do not mutate). Valid until the order structurally changes."""
+        key = ("p", proc)
+        stamp = (self._epoch, self._ord_version.get(key, 0))
+        hit = self._pos_cache.get(key)
+        if hit is not None and hit[0] == stamp:
+            return hit[1]
+        m = {t: i for i, t in enumerate(self.proc_order[proc])}
+        self._pos_cache[key] = (stamp, m)
+        return m
+
+    def link_positions(self, channel: Link) -> Dict[int, int]:
+        """Cached ``id(hop) -> index`` map over the channel's hop order
+        (shared — do not mutate). Valid until the order changes."""
+        key = ("l", channel)
+        stamp = (self._epoch, self._ord_version.get(key, 0))
+        hit = self._pos_cache.get(key)
+        if hit is not None and hit[0] == stamp:
+            return hit[1]
+        m = {id(h): i for i, h in enumerate(self.link_order[channel])}
+        self._pos_cache[key] = (stamp, m)
+        return m
 
     def route_of(self, edge: Edge) -> Optional[Route]:
         return self.routes.get(edge)
@@ -145,7 +187,14 @@ class Schedule:
             position = self._bisect_by_start(order, start)
         order.insert(position, task)
         self.slots[task] = slot
+        if self._txn is not None:
+            self._txn.record_place(task, proc, position, order)
         self._version += 1
+        key = ("p", proc)
+        rv = self._res_version
+        rv[key] = rv.get(key, 0) + 1
+        ov = self._ord_version
+        ov[key] = ov.get(key, 0) + 1
         return slot
 
     def _bisect_by_start(self, order: List[TaskId], start: float) -> int:
@@ -163,8 +212,17 @@ class Schedule:
         slot = self.slots.pop(task, None)
         if slot is None:
             raise SchedulingError(f"task {task!r} is not scheduled")
-        self.proc_order[slot.proc].remove(task)
+        order = self.proc_order[slot.proc]
+        pos = order.index(task)
+        order.pop(pos)
+        if self._txn is not None:
+            self._txn.record_remove(task, slot, pos, order)
         self._version += 1
+        key = ("p", slot.proc)
+        rv = self._res_version
+        rv[key] = rv.get(key, 0) + 1
+        ov = self._ord_version
+        ov[key] = ov.get(key, 0) + 1
         return slot
 
     # ------------------------------------------------------------------
@@ -187,21 +245,45 @@ class Schedule:
             raise SchedulingError(f"route for {edge} needs >= 2 processors")
         self.clear_route(edge)
         topology = self.system.topology
+        txn = self._txn
         hops: List[MessageHop] = []
+        entries: List[Tuple[Link, int]] = []
         for i, (a, b) in enumerate(zip(proc_path, proc_path[1:])):
             if not topology.has_link(a, b):
                 raise SchedulingError(f"no link between {a} and {b} for {edge}")
             duration = self.system.comm_cost(edge, link_id(a, b))
             start = hop_starts[i] if hop_starts else 0.0
-            hop = MessageHop(edge, a, b, start, start + duration, cost=duration)
+            # _rpos/_chan: backrefs for the incremental settle engine —
+            # index within the route (stable: routes are rebuilt whole,
+            # never spliced) and the reservation channel, both O(1) walks
+            hop = MessageHop(edge, a, b, start, start + duration,
+                             cost=duration, _rpos=i)
             hops.append(hop)
-            order = self.link_order[topology.channel(a, b)]
+            channel = topology.channel(a, b)
+            hop._chan = channel
+            order = self.link_order[channel]
+            rkey = ("l", channel)
+            rv = self._res_version
+            rv[rkey] = rv.get(rkey, 0) + 1
+            ov = self._ord_version
+            ov[rkey] = ov.get(rkey, 0) + 1
             if hop_starts:
-                order.insert(self._bisect_hops(order, start), hop)
+                pos = self._bisect_hops(order, start)
+                order.insert(pos, hop)
             else:
+                pos = len(order)
                 order.append(hop)
+            if txn is not None:
+                entries.append((channel, pos))
+                nxt = order[pos + 1] if pos + 1 < len(order) else None
+                if nxt is not None:
+                    txn.seed_hops.append(nxt)
         route = Route(edge, hops)
         self.routes[edge] = route
+        if txn is not None:
+            txn.record_set_route(edge, entries)
+            txn.seed_hops.extend(hops)
+            txn.seed_tasks.add(edge[1])
         self._version += 1
         return route
 
@@ -221,14 +303,68 @@ class Schedule:
         if route is None:
             return
         channel = self.system.topology.channel
+        txn = self._txn
+        entries: List[Tuple[Link, int]] = []
+        rv = self._res_version
+        ov = self._ord_version
         for hop in route.hops:
-            self.link_order[channel(hop.src, hop.dst)].remove(hop)
+            ch = channel(hop.src, hop.dst)
+            rkey = ("l", ch)
+            rv[rkey] = rv.get(rkey, 0) + 1
+            ov[rkey] = ov.get(rkey, 0) + 1
+            order = self.link_order[ch]
+            # identity removal: dataclass __eq__ could match a different
+            # but value-equal hop of another message on the same channel
+            for pos, h in enumerate(order):
+                if h is hop:
+                    break
+            else:  # pragma: no cover - container invariant violated
+                raise SchedulingError(f"hop of {edge} missing from link order")
+            order.pop(pos)
+            if txn is not None:
+                entries.append((ch, pos))
+                if pos < len(order):
+                    txn.seed_hops.append(order[pos])
+        if txn is not None:
+            txn.record_clear_route(edge, route, entries)
+            txn.seed_tasks.add(edge[1])
         self._version += 1
 
     def mark_local(self, edge: Edge) -> None:
         """Record that ``edge`` is intra-processor (no links used)."""
         self.clear_route(edge)
         self.routes[edge] = Route(edge, [])
+        if self._txn is not None:
+            self._txn.record_set_local(edge)
+            self._txn.seed_tasks.add(edge[1])
+
+    # ------------------------------------------------------------------
+    # transactions (undo log)
+    # ------------------------------------------------------------------
+    def begin_txn(self) -> "ScheduleTxn":
+        """Open a transaction: record every structural mutation (and any
+        time write-back the incremental settle performs) in an undo log
+        so a failed commit can be reversed in O(#mutations) instead of
+        restoring a whole-schedule snapshot. Also accumulates the seed
+        set the incremental settle engine recomputes from.
+
+        One transaction may be open at a time; close it with
+        :meth:`ScheduleTxn.rollback` or :meth:`commit_txn`.
+        """
+        if self._txn is not None:
+            raise SchedulingError("a schedule transaction is already open")
+        self._txn = ScheduleTxn(self)
+        return self._txn
+
+    def commit_txn(self) -> None:
+        """Close the open transaction, keeping all its mutations."""
+        if self._txn is None:
+            raise SchedulingError("no schedule transaction is open")
+        self._txn = None
+
+    @property
+    def txn(self) -> Optional["ScheduleTxn"]:
+        return self._txn
 
     # ------------------------------------------------------------------
     # maintenance
@@ -239,6 +375,51 @@ class Schedule:
             order.sort(key=lambda t: (self.slots[t].start, self.slots[t].finish))
         for l, hops in self.link_order.items():
             hops.sort(key=lambda h: (h.start, h.finish))
+        self._version += 1
+        self._epoch += 1  # every resource may have changed
+
+    def resort_partial(self, procs: Iterable[Proc], channels: Iterable[Link]) -> None:
+        """Re-sort only the given processor/link orders by settled start.
+
+        The incremental settle engine calls this with exactly the
+        resources whose occupants' times it touched; every other order
+        is untouched since the last full resort, so a stable re-sort of
+        it would be the identity — skipping it is equivalent to
+        :meth:`resort_orders`. Settled times almost always leave even
+        the touched orders sorted (chain constraints force
+        ``start_next >= finish_prev``), so a linear sortedness check
+        runs first and the stable sort only when it actually fails.
+        """
+        slots = self.slots
+        rv = self._res_version
+        ov = self._ord_version
+        for p in procs:
+            order = self.proc_order[p]
+            ps = pf = float("-inf")
+            for t in order:
+                s = slots[t]
+                ss, sf = s.start, s.finish
+                if ss < ps or (ss == ps and sf < pf):
+                    order.sort(key=lambda t: (slots[t].start, slots[t].finish))
+                    key = ("p", p)
+                    ov[key] = ov.get(key, 0) + 1
+                    break
+                ps, pf = ss, sf
+            key = ("p", p)
+            rv[key] = rv.get(key, 0) + 1
+        for ch in channels:
+            hops = self.link_order[ch]
+            ps = pf = float("-inf")
+            for h in hops:
+                ss, sf = h.start, h.finish
+                if ss < ps or (ss == ps and sf < pf):
+                    hops.sort(key=lambda h: (h.start, h.finish))
+                    key = ("l", ch)
+                    ov[key] = ov.get(key, 0) + 1
+                    break
+                ps, pf = ss, sf
+            key = ("l", ch)
+            rv[key] = rv.get(key, 0) + 1
         self._version += 1
 
     def copy(self) -> "Schedule":
@@ -252,9 +433,11 @@ class Schedule:
         hop_map: Dict[int, MessageHop] = {}
         for edge, route in self.routes.items():
             new_hops = []
-            for h in route.hops:
+            for k, h in enumerate(route.hops):
                 nh = MessageHop(h.edge, h.src, h.dst, h.start, h.finish,
                                 cost=h.cost)
+                nh._rpos = k
+                nh._chan = self.system.topology.channel(h.src, h.dst)
                 hop_map[id(h)] = nh
                 new_hops.append(nh)
             dup.routes[edge] = Route(edge, new_hops)
@@ -287,6 +470,7 @@ class Schedule:
         self.routes = snap.routes
         self.link_order = snap.link_order
         self._version += 1
+        self._epoch += 1
         self._tl_cache.clear()
 
     def restore_from(self, snapshot: "Schedule") -> None:
@@ -303,6 +487,7 @@ class Schedule:
         self.routes = snapshot.routes
         self.link_order = snapshot.link_order
         self._version += 1
+        self._epoch += 1
         self._tl_cache.clear()
 
     def stats_summary(self) -> str:
@@ -338,3 +523,113 @@ class ScheduleSnapshot:
         self.proc_order = {p: list(o) for p, o in sched.proc_order.items()}
         self.routes = dict(sched.routes)
         self.link_order = {l: list(h) for l, h in sched.link_order.items()}
+
+
+#: undo-log op tags
+_OP_PLACE, _OP_REMOVE, _OP_SET_ROUTE, _OP_CLEAR_ROUTE, _OP_SET_LOCAL = range(5)
+
+
+class ScheduleTxn:
+    """Undo log + incremental-settle seed set for one transactional commit.
+
+    Every structural mutator of :class:`Schedule` appends an inverse
+    operation while a transaction is open; :meth:`rollback` replays them
+    in LIFO order, which restores each container to the exact state it
+    had before the op (later mutations of the same list have already
+    been reversed when an op replays, so recorded indices are valid).
+    Time write-backs the incremental settle performs are recorded via
+    :meth:`record_time` and restored the same way. Compared to
+    :meth:`Schedule.snapshot` this costs O(actual mutations) instead of
+    O(tasks + hops) per commit — and commits vastly outnumber rollbacks.
+
+    The *seed sets* accumulate every node whose constraint predecessors
+    changed (moved/new tasks, order successors of removed or inserted
+    occupants, new hops, consumers of rerouted messages): exactly the
+    set the incremental settle engine must recompute from (see
+    :func:`repro.schedule.settle.settle_incremental`).
+    """
+
+    __slots__ = ("sched", "ops", "times", "seed_tasks", "seed_hops",
+                 "_slot_keys", "_route_keys")
+
+    def __init__(self, sched: Schedule):
+        self.sched = sched
+        self.ops: List[tuple] = []
+        self.times: List[Tuple[object, float, float]] = []
+        self.seed_tasks: set = set()
+        self.seed_hops: List[MessageHop] = []
+        # dict *insertion order* is observable (serialization iterates
+        # slots/routes), so rollback must restore it; two flat key-list
+        # copies are still far cheaper than snapshotting every container
+        self._slot_keys: List[TaskId] = list(sched.slots)
+        self._route_keys: List[Edge] = list(sched.routes)
+
+    # -- recording hooks (called by Schedule mutators) -------------------
+    def record_place(self, task: TaskId, proc: Proc, pos: int,
+                     order: List[TaskId]) -> None:
+        self.ops.append((_OP_PLACE, task, proc, pos))
+        self.seed_tasks.add(task)
+        if pos + 1 < len(order):
+            self.seed_tasks.add(order[pos + 1])
+
+    def record_remove(self, task: TaskId, slot: TaskSlot, pos: int,
+                      order: List[TaskId]) -> None:
+        self.ops.append((_OP_REMOVE, task, slot, pos))
+        if pos < len(order):
+            self.seed_tasks.add(order[pos])
+
+    def record_set_route(self, edge: Edge,
+                         entries: List[Tuple[Link, int]]) -> None:
+        self.ops.append((_OP_SET_ROUTE, edge, entries))
+
+    def record_clear_route(self, edge: Edge, route: Route,
+                           entries: List[Tuple[Link, int]]) -> None:
+        self.ops.append((_OP_CLEAR_ROUTE, edge, route, entries))
+
+    def record_set_local(self, edge: Edge) -> None:
+        self.ops.append((_OP_SET_LOCAL, edge))
+
+    def record_time(self, obj, start: float, finish: float) -> None:
+        """Remember ``obj``'s times before the settle write-back."""
+        self.times.append((obj, start, finish))
+
+    # -- closing ---------------------------------------------------------
+    def rollback(self) -> None:
+        """Reverse every recorded mutation and close the transaction."""
+        sched = self.sched
+        for obj, start, finish in reversed(self.times):
+            obj.start = start
+            obj.finish = finish
+        for op in reversed(self.ops):
+            kind = op[0]
+            if kind == _OP_PLACE:
+                _, task, proc, pos = op
+                del sched.slots[task]
+                sched.proc_order[proc].pop(pos)
+            elif kind == _OP_REMOVE:
+                _, task, slot, pos = op
+                sched.slots[task] = slot
+                sched.proc_order[slot.proc].insert(pos, task)
+            elif kind == _OP_SET_ROUTE:
+                _, edge, entries = op
+                for ch, pos in reversed(entries):
+                    sched.link_order[ch].pop(pos)
+                del sched.routes[edge]
+            elif kind == _OP_CLEAR_ROUTE:
+                _, edge, route, entries = op
+                hops = route.hops
+                for i in range(len(entries) - 1, -1, -1):
+                    ch, pos = entries[i]
+                    sched.link_order[ch].insert(pos, hops[i])
+                sched.routes[edge] = route
+            else:  # _OP_SET_LOCAL
+                sched.routes.pop(op[1], None)
+        # restore dict insertion order (the replay restored the key sets
+        # and values, but re-inserted keys sit at the tail)
+        slots, routes = sched.slots, sched.routes
+        sched.slots = {t: slots[t] for t in self._slot_keys}
+        sched.routes = {e: routes[e] for e in self._route_keys}
+        sched._txn = None
+        sched._version += 1
+        sched._epoch += 1
+        sched._tl_cache.clear()

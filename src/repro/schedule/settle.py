@@ -25,10 +25,25 @@ that as a rejected migration and rolls back.
 Implementation note: this runs after every committed migration, so it is
 the hottest loop in BSA. Nodes are mapped to dense integer ids and the
 Kahn pass runs over plain lists.
+
+Three implementations coexist, selected by the process-wide hot-path
+mode:
+
+* :func:`_settle_legacy` — the original closure-per-dependency code;
+* :func:`_settle_fast` — the same full Kahn pass with flattened loops;
+* :func:`settle_incremental` — the change-driven engine (mode
+  ``incremental``): instead of rebuilding the whole constraint DAG it
+  starts from the *seed set* a :class:`~repro.schedule.schedule.
+  ScheduleTxn` collected during the mutations (every node whose
+  constraint predecessors changed) and propagates recomputed times
+  forward only while they actually change. Called by
+  ``commit_migration`` in incremental mode; :func:`settle` itself always
+  runs a full pass (it has no seed information).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Tuple
 
 from repro.errors import CycleError, SchedulingError
@@ -152,6 +167,332 @@ def _settle_fast(schedule: Schedule) -> Schedule:
 
     schedule.resort_orders()
     return schedule
+
+
+def settle_incremental(schedule: Schedule, seed_tasks, seed_hops) -> Schedule:
+    """Change-driven settle: recompute only the affected cone.
+
+    Contract: ``schedule`` was fully settled before the current batch of
+    structural mutations, and ``seed_tasks``/``seed_hops`` (typically a
+    :class:`~repro.schedule.schedule.ScheduleTxn`'s seed sets) contain
+    every node whose constraint predecessors changed — moved/new tasks,
+    the order successors of removed or inserted occupants, new hops, and
+    the consumers of rerouted messages. Every other node's predecessors
+    (and their times) are unchanged, so its settled times are still the
+    longest-path fixpoint and need no work.
+
+    Seeds are recomputed from their live predecessors; a node whose
+    start moves (in either direction — "bubbling up" is a *decrease*)
+    has its successors re-enqueued, so recomputation propagates exactly
+    as far as times actually change. A worklist pop budget bounds the
+    pathological cases: contradictory orders make times grow around the
+    cycle without converging, so exceeding the budget falls back to the
+    full Kahn pass, which detects the cycle exactly (and is bit-identical
+    when there is none). Zero-cost message edges could hide a
+    contradictory all-zero-duration hop cycle from the growth argument,
+    so graphs containing one always take the full pass.
+
+    When a transaction is open, every time write-back is recorded in its
+    undo log first, so a rollback after the fallback's ``CycleError``
+    restores the pre-commit times exactly.
+
+    The fixpoint is unique and max() involves no arithmetic, so the
+    resulting times are bit-identical to :func:`_settle_fast` — enforced
+    across the whole randomized invariant sweep by
+    ``tests/test_hotpath_equivalence.py`` and ``benchmarks/bench_hotpath.py``.
+    """
+    system = schedule.system
+    graph = system.graph
+    if graph.has_zero_cost_edge():
+        return _settle_fast(schedule)
+
+    slots = schedule.slots
+    routes = schedule.routes
+    slots_get = slots.get
+    routes_get = routes.get
+    proc_order = schedule.proc_order
+    link_order = schedule.link_order
+    exec_cost = system.exec_cost
+    comm_cost = system.comm_cost
+    txn = schedule._txn
+    pred_edges = graph.pred_edges
+    succ_of = graph._succ
+
+    # Occupant-position indexes, cached on the schedule across settles
+    # (invalidated only when an order structurally changes — see
+    # Schedule.proc_positions). Hops additionally carry a ``_rpos``
+    # backref (index within their route, stamped at creation) so the
+    # route chain needs no index. A local memo avoids re-stamping the
+    # cache check per pop.
+    proc_pos: Dict[object, Dict[object, int]] = {}
+    link_pos: Dict[object, Dict[int, int]] = {}
+    pp_get = proc_pos.get
+    lp_get = link_pos.get
+    sched_ppos = schedule.proc_positions
+    sched_lpos = schedule.link_positions
+
+    # -- worklist ---------------------------------------------------------
+    heap: List[tuple] = []
+    pending: set = set()
+    heappush = heapq.heappush
+    heappop = heapq.heappop
+    seq = 0
+
+    live_seed_hops: List[object] = []
+    for hop in seed_hops:
+        r = routes_get(hop.edge)
+        if r is not None and any(h is hop for h in r.hops):
+            live_seed_hops.append(hop)
+    for t in seed_tasks:
+        slot = slots_get(t)
+        if slot is not None:
+            oid = id(slot)
+            if oid not in pending:
+                pending.add(oid)
+                seq += 1
+                heappush(heap, (slot.start, seq, False, slot))
+    for hop in live_seed_hops:
+        oid = id(hop)
+        if oid not in pending:
+            pending.add(oid)
+            seq += 1
+            heappush(heap, (hop.start, seq, True, hop))
+
+    touched_procs: set = set()
+    touched_channels: set = set()
+    times_append = txn.times.append if txn is not None else None
+    # Contradictory orders (BSA's rare rejected commits) make times grow
+    # around the cycle without converging, so the worklist would never
+    # empty. Two heuristics bound that — both only trade performance,
+    # because the full-pass fallback is exact whether or not a cycle
+    # exists: a node whose start *grows* many times in one settle is on
+    # a cycle (legitimate transients re-grow a node once or twice), and
+    # a global pop budget of about one pass-worth backstops everything
+    # else (a legitimate settle touches far fewer nodes than that).
+    regrow: Dict[int, int] = {}
+    budget = len(slots) + 3 * len(routes) + 64
+    pops = 0
+
+    while heap:
+        pops += 1
+        if pops > budget:
+            # almost certainly a contradictory order cycle: let the full
+            # pass prove it (or, if not, settle everything exactly)
+            return _settle_fast(schedule)
+        _, _, is_hop, obj = heappop(heap)
+        pending.discard(id(obj))
+
+        # recompute obj.start as the max over its *live* predecessors
+        new_start = 0.0
+        if is_hop:
+            ch = obj._chan
+            order = link_order[ch]
+            m = lp_get(ch)
+            if m is None:
+                m = link_pos[ch] = sched_lpos(ch)
+            i = m[id(obj)]
+            if i > 0:
+                f = order[i - 1].finish
+                if f > new_start:
+                    new_start = f
+            u, v = obj.edge
+            chained = u in slots and v in slots
+            if chained:
+                k = obj._rpos
+                f = slots[u].finish if k == 0 else routes[obj.edge].hops[k - 1].finish
+                if f > new_start:
+                    new_start = f
+        else:
+            t, p = obj.task, obj.proc
+            order = proc_order[p]
+            m = pp_get(p)
+            if m is None:
+                m = proc_pos[p] = sched_ppos(p)
+            i = m[t]
+            if i > 0:
+                f = slots[order[i - 1]].finish
+                if f > new_start:
+                    new_start = f
+            for u, ue in pred_edges(t):
+                us = slots_get(u)
+                if us is None:
+                    continue  # partial schedule: constraint not yet active
+                r = routes_get(ue)
+                f = r.hops[-1].finish if (r is not None and r.hops) else us.finish
+                if f > new_start:
+                    new_start = f
+
+        if new_start == obj.start:
+            continue  # times converged here; successors are unaffected
+
+        if times_append is not None:
+            times_append((obj, obj.start, obj.finish))
+        duration = obj.cost
+        if duration is None:
+            duration = (
+                comm_cost(obj.edge, obj.link) if is_hop
+                else exec_cost(obj.task, obj.proc)
+            )
+        old_finish = obj.finish
+        obj.start = new_start
+        new_finish = new_start + duration
+        obj.finish = new_finish
+
+        # Propagate to constraint successors — but only where this
+        # node's finish can actually move them. A successor's start is
+        # the max over its predecessor finishes, so a *grown* finish
+        # matters only when it exceeds the successor's current start,
+        # and a *shrunk* one only when it was the binding constraint
+        # (successor start == old finish, an exact float copy). A
+        # dominated successor skipped here is re-examined if its binding
+        # predecessor ever changes — that predecessor's own write
+        # triggers the push, and the recompute reads all predecessors.
+        grew = new_finish > old_finish
+        if grew:
+            oid = id(obj)
+            c = regrow.get(oid, 0) + 1
+            if c >= 3:
+                # repeated growth: almost surely a contradictory order
+                # cycle through this node — confirm with a successor DFS
+                # (far cheaper than proving it via the full pass). A
+                # cleared node is a legitimate multi-wave transient:
+                # mark it checked and keep iterating (the fixpoint does
+                # not depend on processing order; a cycle elsewhere is
+                # caught by its own members' growth or the pop budget).
+                if _reaches_itself(schedule, obj, is_hop):
+                    desc = (
+                        f"hop {obj.edge} {obj.src}->{obj.dst}" if is_hop
+                        else f"task {obj.task!r}@P{obj.proc}"
+                    )
+                    raise CycleError(
+                        "contradictory schedule orders (incremental "
+                        f"settle): cycle through {desc}",
+                        [obj.edge if is_hop else obj.task],
+                    )
+                c = -(1 << 30)  # proven cycle-free; never re-check
+            regrow[oid] = c
+        if is_hop:
+            touched_channels.add(ch)
+            if i + 1 < len(order):
+                nxt = order[i + 1]
+                s = nxt.start
+                if (new_finish > s) if grew else (s == old_finish):
+                    oid = id(nxt)
+                    if oid not in pending:
+                        pending.add(oid)
+                        seq += 1
+                        heappush(heap, (s, seq, True, nxt))
+            if chained:
+                hops = routes[obj.edge].hops
+                k = obj._rpos
+                nxt = hops[k + 1] if k + 1 < len(hops) else slots[v]
+                s = nxt.start
+                if (new_finish > s) if grew else (s == old_finish):
+                    oid = id(nxt)
+                    if oid not in pending:
+                        pending.add(oid)
+                        seq += 1
+                        heappush(heap, (s, seq, k + 1 < len(hops), nxt))
+        else:
+            touched_procs.add(p)
+            if i + 1 < len(order):
+                nxt = slots[order[i + 1]]
+                s = nxt.start
+                if (new_finish > s) if grew else (s == old_finish):
+                    oid = id(nxt)
+                    if oid not in pending:
+                        pending.add(oid)
+                        seq += 1
+                        heappush(heap, (s, seq, False, nxt))
+            for v in succ_of[t]:
+                vs = slots_get(v)
+                if vs is None:
+                    continue
+                r = routes_get((t, v))
+                if r is not None and r.hops:
+                    nxt, nxt_hop = r.hops[0], True
+                else:
+                    nxt, nxt_hop = vs, False
+                s = nxt.start
+                if (new_finish > s) if grew else (s == old_finish):
+                    oid = id(nxt)
+                    if oid not in pending:
+                        pending.add(oid)
+                        seq += 1
+                        heappush(heap, (s, seq, nxt_hop, nxt))
+
+    # seeds sit on mutated resources even when their times were already
+    # right (e.g. an inserted hop whose planned start was exact)
+    for t in seed_tasks:
+        slot = slots_get(t)
+        if slot is not None:
+            touched_procs.add(slot.proc)
+    for hop in live_seed_hops:
+        touched_channels.add(hop._chan)
+
+    schedule.resort_partial(touched_procs, touched_channels)
+    return schedule
+
+
+def _reaches_itself(schedule: Schedule, start, start_is_hop: bool) -> bool:
+    """True when ``start`` lies on a constraint cycle (reachable from its
+    own successors). Pure order-graph traversal — no float work, no
+    global graph build — so confirming a suspected contradictory commit
+    costs a DFS over the reachable cone instead of a full settle pass.
+    """
+    slots = schedule.slots
+    routes = schedule.routes
+    proc_order = schedule.proc_order
+    link_order = schedule.link_order
+    graph_succ = schedule.system.graph._succ
+    lpos = schedule.link_positions
+    ppos = schedule.proc_positions
+
+    def successors(node, is_hop):
+        out = []
+        if is_hop:
+            ch = node._chan
+            order = link_order[ch]
+            i = lpos(ch)[id(node)]
+            if i + 1 < len(order):
+                out.append((order[i + 1], True))
+            u, v = node.edge
+            if u in slots and v in slots:
+                hops = routes[node.edge].hops
+                k = node._rpos
+                if k + 1 < len(hops):
+                    out.append((hops[k + 1], True))
+                else:
+                    out.append((slots[v], False))
+        else:
+            t, p = node.task, node.proc
+            order = proc_order[p]
+            i = ppos(p)[t]
+            if i + 1 < len(order):
+                out.append((slots[order[i + 1]], False))
+            for v in graph_succ[t]:
+                vs = slots.get(v)
+                if vs is None:
+                    continue
+                r = routes.get((t, v))
+                if r is not None and r.hops:
+                    out.append((r.hops[0], True))
+                else:
+                    out.append((vs, False))
+        return out
+
+    stack = successors(start, start_is_hop)
+    seen = set()
+    while stack:
+        node, is_hop = stack.pop()
+        if node is start:
+            return True
+        oid = id(node)
+        if oid in seen:
+            continue
+        seen.add(oid)
+        stack.extend(successors(node, is_hop))
+    return False
 
 
 def _settle_legacy(schedule: Schedule) -> Schedule:

@@ -19,7 +19,13 @@ Two implementations coexist:
 
 Which one the schedulers use is controlled by the process-wide hot-path
 mode (:func:`hotpath_mode` / :func:`set_hotpath_mode`, initialized from
-``REPRO_HOTPATH``). Both produce bit-identical schedules — enforced by
+``REPRO_HOTPATH``). Three modes exist: ``legacy`` (the original
+linear-rescan reference code), ``fast`` (indexed timelines, memoized
+routing/costs, candidate pruning, shallow snapshots), and
+``incremental`` (the default: everything in ``fast`` plus the
+change-driven settle engine and the undo-log rollback in
+:mod:`repro.schedule.settle` / :mod:`repro.schedule.schedule`). All
+three produce bit-identical schedules — enforced by
 ``benchmarks/bench_hotpath.py`` and ``tests/test_hotpath_equivalence.py``.
 
 All comparisons use an absolute slack ``EPS`` to absorb floating-point
@@ -34,26 +40,38 @@ from __future__ import annotations
 import os
 from bisect import bisect_right
 from dataclasses import dataclass, field
+from itertools import accumulate
 from typing import List, Optional, Sequence, Tuple
 
 from repro.util.tolerance import EPS
 
-#: hot-path modes: "fast" uses the indexed structures and memoized
-#: routing/cost lookups; "legacy" runs the original linear-rescan code.
-HOTPATH_MODES = ("fast", "legacy")
+#: hot-path modes: "incremental" (default) adds the change-driven settle
+#: engine and undo-log rollback on top of "fast" (indexed structures and
+#: memoized routing/cost lookups); "legacy" runs the original
+#: linear-rescan code.
+HOTPATH_MODES = ("incremental", "fast", "legacy")
 
-_hotpath_mode = os.environ.get("REPRO_HOTPATH", "fast").strip().lower()
+_hotpath_mode = os.environ.get("REPRO_HOTPATH", "incremental").strip().lower()
 if _hotpath_mode not in HOTPATH_MODES:  # pragma: no cover - env typo guard
-    _hotpath_mode = "fast"
+    _hotpath_mode = "incremental"
 
 
 def hotpath_mode() -> str:
-    """Current hot-path mode: ``"fast"`` (default) or ``"legacy"``."""
+    """Current hot-path mode: ``"incremental"`` (default), ``"fast"``
+    or ``"legacy"``."""
     return _hotpath_mode
 
 
 def fast_path_enabled() -> bool:
-    return _hotpath_mode == "fast"
+    """True for every indexed-engine mode (``fast`` and ``incremental``);
+    the incremental engine is a strict superset of the fast one."""
+    return _hotpath_mode != "legacy"
+
+
+def incremental_enabled() -> bool:
+    """True when the change-driven settle engine and undo-log rollback
+    are active (mode ``incremental``)."""
+    return _hotpath_mode == "incremental"
 
 
 def set_hotpath_mode(mode: str) -> str:
@@ -168,12 +186,9 @@ class Timeline:
                  finishes: Optional[List[float]] = None):
         self.starts = starts if starts is not None else []
         self.finishes = finishes if finishes is not None else []
-        self._maxf: List[float] = []
-        running = float("-inf")
-        for f in self.finishes:
-            if f > running:
-                running = f
-            self._maxf.append(running)
+        # running maximum at C speed — this constructor runs once per
+        # (resource, mutation) cache miss on the hottest planning path
+        self._maxf: List[float] = list(accumulate(self.finishes, max))
 
     @classmethod
     def from_items(cls, items: Sequence) -> "Timeline":

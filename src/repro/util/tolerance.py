@@ -27,9 +27,22 @@ Constants
     CPOP's critical-path membership test). Ties are compared on sums of
     input costs, the same magnitude regime as schedule times, so the
     same slack applies.
+``DRT_EPS``
+    The migration evaluator's epsilon-max slack when selecting the
+    data-ready time and VIP among predecessor arrivals: an arrival must
+    beat the running maximum by more than ``DRT_EPS`` to displace it.
+    This one is *deliberately much tighter* than ``EPS`` (1e-12 vs
+    1e-9): it only breaks exact-arithmetic ties, while BSA's candidate
+    pruning compares *whole finish times* with the coarser ``EPS``
+    margin — which therefore absorbs ``DRT_EPS`` noise by three orders
+    of magnitude, keeping the pruned search bit-identical to exhaustive
+    evaluation (see ``core/bsa.py::_evaluate_candidates_pruned``).
+    Before this constant existed the value was hard-coded twice in
+    ``core/migration.py``, invisible to exactly that soundness argument.
 
-All three are intentionally equal today; they are distinct names so a
-future recalibration of one role cannot silently change another.
+``EPS``/``TOL``/``TIE_EPS`` are intentionally equal today; they are
+distinct names so a future recalibration of one role cannot silently
+change another. ``DRT_EPS`` is intentionally smaller — see above.
 """
 
 from __future__ import annotations
@@ -42,3 +55,7 @@ TOL = EPS
 
 #: tie-detection slack for priority / level comparisons
 TIE_EPS = EPS
+
+#: epsilon-max slack for DRT/VIP selection over predecessor arrivals
+#: (must stay well below EPS — BSA's pruning margin absorbs it)
+DRT_EPS = 1e-12

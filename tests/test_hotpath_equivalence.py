@@ -1,17 +1,19 @@
-"""Equivalence regression tests for the fast scheduling engine.
+"""Equivalence regression tests for the fast and incremental engines.
 
-Two layers of protection for the hot-path overhaul (indexed timelines,
-memoized routing/costs, bound-based candidate pruning):
+Two layers of protection for the hot-path overhauls (indexed timelines,
+memoized routing/costs, bound-based candidate pruning, change-driven
+incremental settle, undo-log rollback):
 
 * **pinned makespans** — exact floats for the paper's Table 1 worked
   example and fixed-seed sweep cells across every scheduler and both BSA
   route modes. Any change to scheduling arithmetic, however subtle,
   trips these. All arithmetic involved is deterministic IEEE-754, so the
   pins are machine-independent.
-* **legacy/fast cross-checks** — the same cell scheduled under both
-  hot-path modes must serialize to byte-identical JSON (every task time
-  and every message hop), on uniform *and* heterogeneous link models
-  (full-duplex, bandwidth-skewed torus and fat-tree cells).
+* **legacy/fast/incremental cross-checks** — the same cell scheduled
+  under all three hot-path modes must serialize to byte-identical JSON
+  (every task time and every message hop), on uniform *and*
+  heterogeneous link models (full-duplex, bandwidth-skewed torus and
+  fat-tree cells).
 """
 
 from __future__ import annotations
@@ -23,14 +25,17 @@ from repro.experiments.config import Cell
 from repro.experiments.paper_example import run_paper_example
 from repro.experiments.runner import _SCHEDULERS, build_cell_system
 from repro.schedule.io import schedule_to_json
-from repro.util.intervals import set_hotpath_mode
+from repro.util.intervals import hotpath_mode, set_hotpath_mode
+
+MODES = ("legacy", "fast", "incremental")
 
 
 @pytest.fixture
 def both_modes():
-    """Restore the fast mode even when a test body fails midway."""
+    """Restore the session's mode even when a test body fails midway."""
+    initial = hotpath_mode()
     yield
-    set_hotpath_mode("fast")
+    set_hotpath_mode(initial)
 
 
 #: fixed-seed sweep cells (one regular, one random suite)
@@ -71,6 +76,21 @@ CELL_FATTREE = Cell("regular", "gauss", 40, 1.0, "fattree", "x", n_procs=8,
                     graph_seed=5, system_seed=5,
                     duplex="full", bandwidth_skew=8.0)
 
+#: PR 3 golden cells: the ETF and CPOP baselines had no pinned values
+#: off the uniform half-duplex mesh — one full-duplex uniform torus cell
+#: and one half-duplex bandwidth-skewed fat-tree cell close that gap
+CELL_TORUS_FD = Cell("random", "random", 36, 1.0, "torus", "x", n_procs=9,
+                     graph_seed=21, system_seed=21, duplex="full")
+CELL_FATTREE_SKEW = Cell("regular", "gauss", 45, 0.5, "fattree", "x", n_procs=8,
+                         graph_seed=11, system_seed=11, bandwidth_skew=6.0)
+
+PINNED_BASELINES_LINK_MODEL = {
+    ("torus_fd", "etf"): 37748.29486182677,
+    ("torus_fd", "cpop"): 11183.597989604994,
+    ("fattree_skew", "etf"): 67869.06198404686,
+    ("fattree_skew", "cpop"): 61669.64289322252,
+}
+
 PINNED_LINK_MODEL = {
     ("torus", "bsa"): 1658.676355513322,
     ("torus", "dls"): 1765.8967197009376,
@@ -91,6 +111,8 @@ def _cell(suite: str) -> Cell:
         "random": CELL_RANDOM,
         "torus": CELL_TORUS,
         "fattree": CELL_FATTREE,
+        "torus_fd": CELL_TORUS_FD,
+        "fattree_skew": CELL_FATTREE_SKEW,
     }[suite]
 
 
@@ -121,22 +143,32 @@ class TestPinnedMakespans:
         sched = _SCHEDULERS[algorithm](system)
         assert sched.schedule_length() == PINNED_LINK_MODEL[(suite, algorithm)]
 
+    @pytest.mark.parametrize("suite,algorithm", sorted(PINNED_BASELINES_LINK_MODEL))
+    def test_baseline_link_model_cell_exact(self, suite, algorithm):
+        system = build_cell_system(_cell(suite))
+        sched = _SCHEDULERS[algorithm](system)
+        assert sched.schedule_length() == PINNED_BASELINES_LINK_MODEL[(suite, algorithm)]
 
-class TestLegacyFastIdentical:
-    @pytest.mark.parametrize("suite", ["regular", "random", "torus", "fattree"])
+
+class TestEngineModesIdentical:
+    """legacy vs fast vs incremental — byte-identical serialized output."""
+
+    @pytest.mark.parametrize(
+        "suite", ["regular", "random", "torus", "fattree", "torus_fd", "fattree_skew"]
+    )
     @pytest.mark.parametrize("algorithm", ["bsa", "dls", "heft", "cpop", "etf"])
     def test_serialized_schedules_identical(self, suite, algorithm, both_modes):
         blobs = {}
-        for mode in ("legacy", "fast"):
+        for mode in MODES:
             set_hotpath_mode(mode)
             system = build_cell_system(_cell(suite))
             blobs[mode] = schedule_to_json(_SCHEDULERS[algorithm](system))
-        assert blobs["legacy"] == blobs["fast"]
+        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
 
     @pytest.mark.parametrize("route_mode", ["incremental", "shortest"])
     def test_route_modes_identical(self, route_mode, both_modes):
         blobs = {}
-        for mode in ("legacy", "fast"):
+        for mode in MODES:
             set_hotpath_mode(mode)
             system = build_cell_system(CELL_RANDOM)
             sched = schedule_bsa(
@@ -144,11 +176,32 @@ class TestLegacyFastIdentical:
                 BSAOptions(migration_scope="neighbors", route_mode=route_mode),
             )
             blobs[mode] = schedule_to_json(sched)
-        assert blobs["legacy"] == blobs["fast"]
+        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
 
     def test_paper_example_identical(self, both_modes):
         blobs = {}
-        for mode in ("legacy", "fast"):
+        for mode in MODES:
             set_hotpath_mode(mode)
             blobs[mode] = schedule_to_json(run_paper_example()["schedule"])
-        assert blobs["legacy"] == blobs["fast"]
+        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+
+    def test_rejection_heavy_cell_identical(self, both_modes):
+        """A communication-heavy cell whose BSA run rejects many
+        migrations: exercises the undo-log rollback (incremental), the
+        shallow-snapshot restore (fast) and the deep-copy restore
+        (legacy) against each other on the same commit sequence."""
+        from repro.core.bsa import BSAScheduler
+
+        cell = Cell("regular", "gauss", 60, 0.1, "hypercube", "bsa",
+                    n_procs=8, graph_seed=1, system_seed=1)
+        blobs = {}
+        rejected = {}
+        for mode in MODES:
+            set_hotpath_mode(mode)
+            scheduler = BSAScheduler(build_cell_system(cell), BSAOptions())
+            blobs[mode] = schedule_to_json(scheduler.run())
+            rejected[mode] = scheduler.stats.n_rejected_migrations
+        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+        assert len(set(rejected.values())) == 1
+        # the cell must keep exercising rollback; reseed it if this trips
+        assert rejected["incremental"] > 0

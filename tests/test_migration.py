@@ -12,11 +12,95 @@ from repro.core.serialization import serial_injection
 from repro.errors import SchedulingError
 
 
+def _diamond_system(edge_order):
+    """Diamond a->b, a->c, b->d, c->d with the incoming edges of ``d``
+    added in the given order — so ``predecessors(d)`` iterates in edge
+    insertion order, which need not match graph (task) order."""
+    from repro.graph.model import TaskGraph
+    from repro.network.system import HeterogeneousSystem
+    from repro.network.topology import ring
+
+    g = TaskGraph(name="diamond-ties")
+    for t in "abcd":
+        g.add_task(t, 10.0)
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("a", "c", 1.0)
+    for u in edge_order:
+        g.add_edge(u, "d", 1.0)
+    table = {t: [g.cost(t)] * 3 for t in g.tasks()}
+    return HeterogeneousSystem.from_exec_table(g, ring(3), table)
+
+
+def _equal_arrival_schedule(system, c_finish=None):
+    """b and c finish simultaneously (or c at exactly ``c_finish``);
+    d's two message arrivals are the producer finishes."""
+    s = Schedule(system)
+    s.place_task("a", 0, start=0.0)
+    s.place_task("b", 0, start=10.0)
+    s.place_task("c", 1, start=10.0)
+    s.place_task("d", 2, start=40.0)
+    for e in system.graph.edges():
+        s.mark_local(e)  # arrivals collapse to producer finishes
+    if c_finish is not None:
+        # pin the arrival to the exact float boundary under test —
+        # deriving it through start+duration would re-round the sum
+        s.slots["c"].finish = c_finish
+    return s
+
+
 class TestCurrentDrtVip:
     def test_entry_task(self, paper_system):
         _, sched = serial_injection(paper_system)
         drt, vip = current_drt_vip(sched, "T1")
         assert drt == 0.0 and vip is None
+
+    @pytest.mark.parametrize("edge_order", ["bc", "cb"])
+    def test_tie_resolves_to_earliest_in_graph_order(self, edge_order):
+        """Equal arrivals: the VIP is the earliest predecessor in *graph*
+        order regardless of edge insertion (= predecessors()) order.
+        The ``cb`` case is the documented-vs-implemented mismatch: the
+        old first-seen scan returned ``c`` there."""
+        system = _diamond_system(edge_order)
+        sched = _equal_arrival_schedule(system)
+        drt, vip = current_drt_vip(sched, "d")
+        assert drt == sched.slots["b"].finish
+        assert vip == "b"
+
+    def test_drt_eps_boundary(self):
+        """An arrival must beat the running max by *more than* DRT_EPS to
+        displace the VIP: exactly DRT_EPS later keeps the earlier task,
+        clearly later (1e-9) wins."""
+        from repro.util.tolerance import DRT_EPS, EPS
+
+        assert DRT_EPS < EPS  # BSA's pruning margin must absorb it
+
+        system = _diamond_system("bc")
+        at_eps = _equal_arrival_schedule(system, c_finish=20.0 + DRT_EPS)
+        drt, vip = current_drt_vip(at_eps, "d")
+        assert vip == "b"  # c's arrival is only DRT_EPS later: a tie
+        assert drt == at_eps.slots["b"].finish
+
+        beyond = _equal_arrival_schedule(system, c_finish=20.0 + 1e-9)
+        drt, vip = current_drt_vip(beyond, "d")
+        assert vip == "c"  # now a real displacement
+        assert drt == beyond.slots["c"].finish
+
+    def test_evaluate_migration_vip_uses_same_tie_break(self):
+        """MigrationPlan.vip resolves epsilon-ties to the earliest
+        predecessor in graph order, like current_drt_vip."""
+        system = _diamond_system("cb")
+        s = Schedule(system)
+        s.place_task("a", 0, start=0.0)
+        s.place_task("b", 2, start=10.0)
+        s.place_task("c", 2, start=10.0)  # equal finish with b
+        s.place_task("d", 0, start=40.0)
+        for e in system.graph.edges():
+            s.mark_local(e)
+        # moving d onto the producers' processor makes both incoming
+        # messages local: planned arrivals tie at the shared finish
+        plan = evaluate_migration(s, "d", 2)
+        assert plan.vip == "b"
+        assert plan.drt == s.slots["b"].finish
 
     def test_serialized_drt_is_producer_finish(self, paper_system):
         _, sched = serial_injection(paper_system)

@@ -96,6 +96,94 @@ class TestShardedCache:
         cache = ResultCache()
         assert cache.sharded  # fell back to the default shard count
 
+    def test_explicit_directory_honors_shards_env(self, tmp_path, monkeypatch):
+        """REPRO_CACHE_SHARDS applies to explicit directories too, not
+        only the env-derived default (it used to be read iff path=None)."""
+        monkeypatch.setenv("REPRO_CACHE_SHARDS", "3")
+        cache = ResultCache(str(tmp_path / "mycache"))
+        assert cache.sharded and cache.n_shards == 3
+        for i in range(12):
+            cache.put(f"k{i}", {"v": i}, flush=False)
+        cache.flush()
+        files = sorted(p.name for p in (tmp_path / "mycache").glob("shard-*.json"))
+        assert files and all(f in {f"shard-{j:02d}.json" for j in range(3)}
+                             for f in files)
+        # explicit shards= still beats the env
+        assert ResultCache(str(tmp_path / "other"), shards=5).n_shards == 5
+        # a .json path stays a single-file cache
+        assert not ResultCache(str(tmp_path / "single.json")).sharded
+
+    def test_explicit_directory_imports_legacy_file(self, tmp_path):
+        """A pre-sharding <dir>.json sibling is absorbed for explicit
+        directories exactly like the default layout does."""
+        legacy = ResultCache(str(tmp_path / "mycache.json"))
+        legacy.put("old-cell", {"schedule_length": 7.0})
+        cache = ResultCache(str(tmp_path / "mycache"), shards=4)
+        assert cache.get("old-cell") == {"schedule_length": 7.0}
+        cache.flush()
+        assert ResultCache(str(tmp_path / "mycache"), shards=4).get(
+            "old-cell") == {"schedule_length": 7.0}
+
+    def test_failed_flush_is_retried(self, tmp_path, monkeypatch):
+        """A shard whose write fails (disk error) stays dirty and really
+        is persisted by the next flush, as the docstring promises."""
+        import os as _os
+
+        cache = ResultCache(str(tmp_path / "shards"), shards=2)
+        cache.put("k", {"v": 1}, flush=False)
+        real_replace = _os.replace
+
+        def failing_replace(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr("repro.experiments.cache.os.replace",
+                            failing_replace)
+        cache.flush()
+        assert cache._dirty  # nothing was persisted, nothing forgotten
+        assert ResultCache(str(tmp_path / "shards"), shards=2).get("k") is None
+
+        monkeypatch.setattr("repro.experiments.cache.os.replace", real_replace)
+        cache.flush()
+        assert not cache._dirty
+        assert ResultCache(str(tmp_path / "shards"), shards=2).get(
+            "k") == {"v": 1}
+
+    def test_unwritable_directory_flush_is_retried(self, tmp_path, capsys):
+        """makedirs failing (path blocked by a file) must not crash the
+        flush nor drop the dirty set — and must warn, once, that
+        persistence is off."""
+        blocker = tmp_path / "blocked"
+        blocker.write_text("not a directory")
+        cache = ResultCache(str(blocker), shards=2)
+        cache.put("k", {"v": 2}, flush=False)
+        cache.flush()  # keeps the shard dirty
+        assert cache._dirty
+        cache.flush()
+        assert capsys.readouterr().err.count("result-cache flush") == 1  # once
+        blocker.unlink()
+        cache.flush()
+        assert not cache._dirty
+        assert ResultCache(str(blocker), shards=2).get("k") == {"v": 2}
+
+    def test_existing_single_file_at_bare_path_stays_single_file(self, tmp_path):
+        """A pre-sharding cache written to an extension-less path (the
+        old shards=None default for any explicit path) keeps its
+        single-file layout instead of being shadowed by a same-named
+        shard directory that could never flush."""
+        bare = tmp_path / "mycache"
+        old = ResultCache(str(bare), shards=1)
+        old.put("old-cell", {"schedule_length": 3.0})
+        assert bare.is_file()
+
+        cache = ResultCache(str(bare))  # would default to sharded if new
+        assert not cache.sharded
+        assert cache.get("old-cell") == {"schedule_length": 3.0}
+        cache.put("new-cell", {"schedule_length": 4.0})
+        reread = ResultCache(str(bare))
+        assert reread.get("old-cell") == {"schedule_length": 3.0}
+        assert reread.get("new-cell") == {"schedule_length": 4.0}
+        assert bare.is_file()
+
 
 class TestRunCells:
     def test_serial_report(self, tmp_path):

@@ -211,3 +211,17 @@ class TestHotpathMode:
     def test_bad_mode_rejected(self):
         with pytest.raises(ValueError):
             set_hotpath_mode("turbo")
+
+    def test_incremental_implies_fast(self):
+        from repro.util.intervals import incremental_enabled
+
+        prev = hotpath_mode()
+        try:
+            set_hotpath_mode("incremental")
+            assert fast_path_enabled() and incremental_enabled()
+            set_hotpath_mode("fast")
+            assert fast_path_enabled() and not incremental_enabled()
+            set_hotpath_mode("legacy")
+            assert not fast_path_enabled() and not incremental_enabled()
+        finally:
+            set_hotpath_mode(prev)
