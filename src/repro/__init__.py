@@ -109,6 +109,20 @@ from repro.workloads import (
     apply_granularity,
     regular_graph,
     random_graph,
+    external_cell,
+    resolve_external,
+)
+from repro.graph.interchange import (
+    ExternalWorkload,
+    load_workload,
+    loads_workload,
+    save_workload,
+    dumps_workload,
+    convert_file,
+    sniff_format,
+    format_names,
+    relabel_tasks,
+    graphs_equal,
 )
 
 __version__ = "1.0.0"
@@ -142,5 +156,10 @@ __all__ = [
     "mean_value_analysis", "fft_butterfly", "fork_join",
     "random_layered_graph", "apply_granularity",
     "regular_graph", "random_graph",
+    "external_cell", "resolve_external",
+    # interchange
+    "ExternalWorkload", "load_workload", "loads_workload",
+    "save_workload", "dumps_workload", "convert_file", "sniff_format",
+    "format_names", "relabel_tasks", "graphs_equal",
     "__version__",
 ]

@@ -2,12 +2,22 @@
 
 Commands
 --------
-* ``schedule``   — schedule one generated workload and print results;
+* ``schedule``   — schedule one workload (generated, or an external
+  graph file via ``--graph``) and print results;
 * ``example``    — run the paper's worked example with a Gantt chart;
 * ``run``        — execute an experiment sweep through the parallel
   engine (``--jobs N``) with progress and a summary report;
 * ``experiment`` — regenerate a figure (fig3..fig7, runtime);
+* ``convert``    — translate a task-graph file between the interchange
+  formats (stg / dot / trace / json);
+* ``ablation``   — compare BSA option variants on one workload;
+* ``report``     — regenerate the full reproduction report;
 * ``info``       — library / scale / cache information.
+
+Flag choices (``--algorithm``, ``--topology``, ``--format``) are derived
+from the live registries — ``ALGORITHM_NAMES`` / ``TOPOLOGY_NAMES`` in
+:mod:`repro.experiments.config` and :data:`repro.graph.interchange.
+FORMATS` — and a docs test pins the README to them.
 """
 
 from __future__ import annotations
@@ -19,30 +29,83 @@ from repro import __version__
 
 
 def _cmd_schedule(args) -> int:
+    from repro.errors import ReproError
     from repro.experiments.config import Cell
-    from repro.experiments.runner import build_cell_system
-    from repro.baselines import schedule_cpop, schedule_dls, schedule_heft
+    from repro.experiments.runner import (
+        _SCHEDULERS,
+        build_cell_system,
+        build_topology,
+    )
     from repro.core.bsa import BSAOptions, schedule_bsa
     from repro.schedule.gantt import render_gantt
     from repro.schedule.metrics import compute_metrics
     from repro.schedule.validator import validate_schedule
 
-    suite = "regular" if args.workload != "random" else "random"
-    cell = Cell(
-        suite=suite, app=args.workload, size=args.size,
-        granularity=args.granularity, topology=args.topology,
-        algorithm=args.algorithm, n_procs=args.procs,
-        graph_seed=args.seed, system_seed=args.seed,
-        duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
-    )
-    system = build_cell_system(cell)
-    schedulers = {
-        "bsa": lambda s: schedule_bsa(s, BSAOptions(seed=args.seed)),
-        "dls": schedule_dls,
-        "heft": schedule_heft,
-        "cpop": schedule_cpop,
-    }
-    sched = schedulers[args.algorithm](system)
+    if args.graph:
+        from repro.graph.interchange import load_workload
+        from repro.network.topology import apply_link_model
+
+        ignored = [
+            flag for flag, default in
+            (("--workload", "random"), ("--size", 100), ("--granularity", 1.0))
+            if getattr(args, flag.lstrip("-")) != default
+        ]
+        if ignored:
+            print(f"note: generator flags ({', '.join(ignored)}) are ignored "
+                  f"with --graph — the file's structure and costs are used "
+                  f"verbatim", file=sys.stderr)
+        try:
+            # strict validation is not optional here: every scheduler
+            # re-checks the connected-DAG assumption itself, so there is
+            # no lenient path to offer (unlike `repro convert`)
+            try:
+                workload = load_workload(args.graph, fmt=args.format)
+            except ReproError as exc:
+                from repro.errors import DisconnectedGraphError
+
+                if isinstance(exc, DisconnectedGraphError):
+                    raise ReproError(
+                        f"{exc} — the schedulers assume a connected DAG "
+                        f"(paper §2.1); use `repro convert "
+                        f"--allow-disconnected` to inspect or repair the "
+                        f"file"
+                    ) from None
+                raise
+            if (workload.n_procs is not None and args.procs is not None
+                    and args.procs != workload.n_procs):
+                raise ReproError(
+                    f"{args.graph} carries {workload.n_procs}-processor "
+                    f"cost vectors; --procs {args.procs} cannot apply"
+                )
+            n_procs = (
+                workload.n_procs if workload.n_procs is not None
+                else args.procs if args.procs is not None
+                else 16
+            )
+            topology = build_topology(args.topology, n_procs, seed=args.seed)
+            topology = apply_link_model(
+                topology, duplex=args.duplex,
+                bandwidth_skew=args.bandwidth_skew, seed=args.seed,
+            )
+            system = workload.bind(topology, seed=args.seed)
+        except (ReproError, OSError) as exc:
+            print(f"cannot schedule {args.graph}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        suite = "regular" if args.workload != "random" else "random"
+        cell = Cell(
+            suite=suite, app=args.workload, size=args.size,
+            granularity=args.granularity, topology=args.topology,
+            algorithm=args.algorithm,
+            n_procs=args.procs if args.procs is not None else 16,
+            graph_seed=args.seed, system_seed=args.seed,
+            duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
+        )
+        system = build_cell_system(cell)
+    if args.algorithm == "bsa":
+        sched = schedule_bsa(system, BSAOptions(seed=args.seed))
+    else:
+        sched = _SCHEDULERS[args.algorithm](system)
     validate_schedule(sched)
     metrics = compute_metrics(sched)
     print(f"workload : {system.graph.name} ({system.graph.n_tasks} tasks, "
@@ -173,6 +236,39 @@ def _cmd_ablation(args) -> int:
     return 0
 
 
+def _cmd_convert(args) -> int:
+    from repro.errors import ReproError
+    from repro.graph.interchange import convert_file
+
+    kwargs = {}
+    if args.default_comm is not None:
+        kwargs["default_comm"] = args.default_comm
+    if args.default_cost is not None:
+        kwargs["default_cost"] = args.default_cost
+    try:
+        in_fmt, out_fmt, workload = convert_file(
+            args.src, args.dst,
+            from_fmt=args.from_fmt, to_fmt=args.to_fmt,
+            validate=not args.no_validate,
+            require_connected=not args.allow_disconnected,
+            **kwargs,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"convert failed: {exc}", file=sys.stderr)
+        return 2
+    g = workload.graph
+    vectors = (
+        f", {workload.n_procs}-processor cost vectors"
+        if workload.n_procs else ""
+    )
+    if out_fmt != "trace" and workload.n_procs:
+        print(f"note: {out_fmt!r} cannot carry per-processor cost vectors; "
+              f"only the nominal graph was written", file=sys.stderr)
+    print(f"{args.src} ({in_fmt}) -> {args.dst} ({out_fmt}): "
+          f"{g.name} — {g.n_tasks} tasks, {g.n_edges} edges{vectors}")
+    return 0
+
+
 def _cmd_report(args) -> int:
     from repro.experiments.config import SCALES
     from repro.experiments.report import generate_report
@@ -196,6 +292,8 @@ def _cmd_info(args) -> int:
 
     scale = current_scale()
     cache = default_cache()
+    from repro.graph.interchange import format_names
+
     print(f"repro {__version__} — BSA/DLS reproduction (Kwok & Ahmad, ICPP 1999)")
     print(f"scale     : {scale.name} (REPRO_SCALE={os.environ.get('REPRO_SCALE', '<unset>')})")
     print(f"  sizes        : {list(scale.sizes)}")
@@ -203,10 +301,17 @@ def _cmd_info(args) -> int:
     print(f"  topologies   : {list(scale.topologies)}")
     print(f"  algorithms   : {list(scale.algorithms)}")
     print(f"cache     : {cache.path} ({len(cache)} cells)")
+    print(f"formats   : {', '.join(format_names())} "
+          f"(repro convert / repro schedule --graph)")
     return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # flag choices come from the live registries so the CLI can never
+    # drift from what the library actually accepts (docs-tested)
+    from repro.experiments.config import ALGORITHM_NAMES, TOPOLOGY_NAMES
+    from repro.graph.interchange import format_names
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BSA link-contention scheduling reproduction (Kwok & Ahmad, ICPP 1999)",
@@ -216,15 +321,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("schedule", help="schedule one workload")
     p.add_argument("--algorithm", "-a", default="bsa",
-                   choices=["bsa", "dls", "heft", "cpop"])
+                   choices=list(ALGORITHM_NAMES))
     p.add_argument("--workload", "-w", default="random",
                    choices=["random", "gauss", "lu", "laplace", "mva"])
+    p.add_argument("--graph", metavar="FILE", default=None,
+                   help="schedule this task-graph file instead of a "
+                        "generated workload (stg/dot/trace/json; format "
+                        "sniffed unless --format is given). Trace files "
+                        "with per-processor cost vectors bind their own "
+                        "heterogeneity and pin the processor count")
+    p.add_argument("--format", default=None, choices=list(format_names()),
+                   help="interchange format of --graph (default: sniff)")
     p.add_argument("--size", "-n", type=int, default=100)
     p.add_argument("--granularity", "-g", type=float, default=1.0)
     p.add_argument("--topology", "-t", default="hypercube",
-                   choices=["ring", "hypercube", "clique", "random",
-                            "torus", "fattree"])
-    p.add_argument("--procs", "-p", type=int, default=16)
+                   choices=list(TOPOLOGY_NAMES))
+    p.add_argument("--procs", "-p", type=int, default=None,
+                   help="processor count (default: 16, or the vector "
+                        "length of a --graph trace file)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--duplex", default="half", choices=["half", "full"],
                    help="link duplex mode: 'half' shares one timeline per "
@@ -259,12 +373,34 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for the cell sweep")
     p.set_defaults(func=_cmd_experiment)
 
+    p = sub.add_parser(
+        "convert", help="translate a task-graph file between formats"
+    )
+    p.add_argument("src", help="input graph file")
+    p.add_argument("dst", help="output graph file")
+    p.add_argument("--from", dest="from_fmt", default=None,
+                   choices=list(format_names()),
+                   help="input format (default: sniff content/extension)")
+    p.add_argument("--to", dest="to_fmt", default=None,
+                   choices=list(format_names()),
+                   help="output format (default: from the dst extension)")
+    p.add_argument("--default-comm", type=float, default=None,
+                   help="communication cost for edges the input format "
+                        "does not annotate (stg/dot; default 1.0 for stg)")
+    p.add_argument("--default-cost", type=float, default=None,
+                   help="execution cost for DOT nodes without a cost "
+                        "attribute or numeric label")
+    p.add_argument("--no-validate", action="store_true",
+                   help="skip the structural (DAG/connectivity) check")
+    p.add_argument("--allow-disconnected", action="store_true",
+                   help="accept graphs that are not weakly connected")
+    p.set_defaults(func=_cmd_convert)
+
     p = sub.add_parser("ablation", help="compare BSA option variants on one workload")
     p.add_argument("--size", "-n", type=int, default=60)
     p.add_argument("--granularity", "-g", type=float, default=1.0)
     p.add_argument("--topology", "-t", default="hypercube",
-                   choices=["ring", "hypercube", "clique", "random",
-                            "torus", "fattree"])
+                   choices=list(TOPOLOGY_NAMES))
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--duplex", default="half", choices=["half", "full"],
                    help="link duplex mode (see 'schedule --duplex')")

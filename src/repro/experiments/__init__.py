@@ -6,6 +6,12 @@ from repro.experiments.config import (
     SCALES,
     current_scale,
     ALGORITHM_NAMES,
+    TOPOLOGY_NAMES,
+)
+from repro.experiments.external import (
+    corpus_paths,
+    corpus_cells,
+    corpus_table,
 )
 from repro.experiments.runner import (
     CellResult,
@@ -43,6 +49,10 @@ __all__ = [
     "SCALES",
     "current_scale",
     "ALGORITHM_NAMES",
+    "TOPOLOGY_NAMES",
+    "corpus_paths",
+    "corpus_cells",
+    "corpus_table",
     "CellResult",
     "SweepReport",
     "run_cell",

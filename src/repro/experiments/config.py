@@ -21,17 +21,32 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
-#: algorithms compared in figure reproductions (paper compares BSA vs DLS;
-#: HEFT/CPOP are available extensions — enable via Scale.algorithms).
-ALGORITHM_NAMES = ("bsa", "dls", "heft", "cpop")
+#: every plain (non-ablation) scheduler the library ships. The paper's
+#: figure reproductions compare BSA vs DLS (Scale.algorithms); the rest
+#: are extensions. The CLI derives its --algorithm choices from this
+#: tuple, and a docs test pins it to the runner registry and README.
+ALGORITHM_NAMES = ("bsa", "dls", "heft", "cpop", "etf")
+
+#: every topology family build_topology() accepts: the paper's four
+#: 16-processor networks plus the heterogeneous-link extensions. The
+#: CLI derives its --topology choices from this tuple (docs-tested).
+TOPOLOGY_NAMES = ("ring", "hypercube", "clique", "random", "torus", "fattree")
 
 
 @dataclass(frozen=True)
 class Cell:
-    """One experiment cell: a (graph, platform, algorithm) combination."""
+    """One experiment cell: a (graph, platform, algorithm) combination.
 
-    suite: str                  # "regular" | "random"
-    app: str                    # gauss/lu/laplace/mva or "random"
+    ``suite="external"`` cells schedule an imported graph file instead
+    of a generated one: ``app`` is then a ``path#contenthash`` token
+    (see :mod:`repro.workloads.external`), ``size`` is informational,
+    and ``granularity`` stays 1.0 because the file's communication
+    costs are used verbatim. The content hash inside the token keeps
+    cache keys honest when the file changes.
+    """
+
+    suite: str                  # "regular" | "random" | "external"
+    app: str                    # gauss/lu/laplace/mva, "random", or path#hash
     size: int                   # approximate task count
     granularity: float
     topology: str               # ring | hypercube | clique | random | torus | fattree

@@ -41,6 +41,7 @@ from repro.baselines.heft import schedule_heft
 from repro.core.bsa import BSAOptions, schedule_bsa
 from repro.schedule.metrics import compute_metrics
 from repro.schedule.validator import validate_schedule
+from repro.workloads.external import EXTERNAL_SUITE, resolve_external
 from repro.workloads.suites import random_graph, regular_graph
 
 
@@ -97,13 +98,21 @@ def _near_square(m: int) -> Tuple[int, int]:
 
 
 def build_cell_system(cell: Cell) -> HeterogeneousSystem:
-    """Materialize the graph and bound platform for a cell."""
+    """Materialize the graph and bound platform for a cell.
+
+    ``suite="external"`` cells resolve their graph (and, for trace
+    files, the exact per-processor cost table) from the file named by
+    the cell's app token — see :mod:`repro.workloads.external`. Every
+    other suite samples heterogeneity from the cell's seeds.
+    """
     if cell.suite == "regular":
         graph = regular_graph(
             cell.app, cell.size, cell.granularity, seed=cell.graph_seed
         )
     elif cell.suite == "random":
         graph = random_graph(cell.size, cell.granularity, seed=cell.graph_seed)
+    elif cell.suite == EXTERNAL_SUITE:
+        graph = None  # the workload binds itself below
     else:
         raise ConfigurationError(f"unknown suite {cell.suite!r}")
     topology = build_topology(cell.topology, cell.n_procs, seed=cell.system_seed)
@@ -116,6 +125,14 @@ def build_cell_system(cell: Cell) -> HeterogeneousSystem:
         seed=cell.system_seed,
     )
     link_range = (cell.het_lo, cell.het_hi) if cell.link_het else None
+    if cell.suite == EXTERNAL_SUITE:
+        workload = resolve_external(cell.app)
+        return workload.bind(
+            topology,
+            het_range=(cell.het_lo, cell.het_hi),
+            link_het_range=link_range,
+            seed=cell.system_seed,
+        )
     return HeterogeneousSystem.sample(
         graph,
         topology,

@@ -20,6 +20,19 @@ from repro.graph.io import (
     from_networkx,
     to_dot,
 )
+from repro.graph.interchange import (
+    ExternalWorkload,
+    FORMATS,
+    format_names,
+    sniff_format,
+    load_workload,
+    loads_workload,
+    save_workload,
+    dumps_workload,
+    convert_file,
+    relabel_tasks,
+    graphs_equal,
+)
 
 __all__ = [
     "TaskGraph",
@@ -41,4 +54,15 @@ __all__ = [
     "to_networkx",
     "from_networkx",
     "to_dot",
+    "ExternalWorkload",
+    "FORMATS",
+    "format_names",
+    "sniff_format",
+    "load_workload",
+    "loads_workload",
+    "save_workload",
+    "dumps_workload",
+    "convert_file",
+    "relabel_tasks",
+    "graphs_equal",
 ]

@@ -1,0 +1,1177 @@
+"""Task-graph interchange: read and write external workload formats.
+
+The generators in :mod:`repro.workloads` cover the paper's two synthetic
+suites; this module is the front door for everything else. Three
+formats are supported, funneled through one registry (:data:`FORMATS`)
+with filename/content sniffing and strict validation against
+:mod:`repro.graph.validation`:
+
+* **stg** — the Standard Task Graph format of Kasahara's benchmark
+  suite (one line per task: ``id cost n_preds pred...``). Plain STG
+  carries no communication costs and no task names; the writer emits
+  ``#@`` comment directives (ignored by other STG readers) so that
+  ``read(write(g))`` round-trips ids and exact float costs. Zero-cost
+  dummy entry/exit tasks, customary in published STG files, are
+  stripped on read (the model requires positive execution costs).
+* **dot** — Graphviz digraphs. The writer stores exact costs in
+  ``cost=`` / ``comm=`` attributes next to the human-readable labels;
+  the reader also accepts foreign DOT (and the display-oriented
+  :func:`repro.graph.io.to_dot` output) by falling back to labels and
+  ``default_cost`` / ``default_comm``.
+* **trace** — a JSON "workflow trace" that preserves heterogeneity:
+  each task may carry a per-processor execution-cost vector
+  (``costs``) instead of a scalar nominal cost, so a platform-bound
+  workload survives the round trip without being re-sampled.
+  :meth:`ExternalWorkload.bind` turns it back into a
+  :class:`~repro.network.system.HeterogeneousSystem` via the exact
+  cost table.
+
+The cache-native :func:`repro.graph.io.graph_to_json` dialect is
+registered as a fourth format (**json**) so ``repro convert`` can reach
+it.
+
+Everything a reader returns is an :class:`ExternalWorkload`: the graph,
+the optional per-processor cost table, and the content hash used by
+:mod:`repro.workloads.external` to build cache keys.
+
+Examples
+--------
+>>> from repro.graph.model import TaskGraph
+>>> g = TaskGraph(name="demo")
+>>> g.add_task("a", 4.0); g.add_task("b", 2.0); g.add_edge("a", "b", 1.5)
+>>> h = read_stg(write_stg(g)).graph
+>>> graphs_equal(g, h)
+True
+>>> h.name, h.cost("b"), h.comm_cost("a", "b")
+('demo', 2.0, 1.5)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import re
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.io import _parse_id, graph_from_json, graph_to_json
+from repro.graph.model import TaskGraph, TaskId
+from repro.graph.validation import validate_graph
+
+__all__ = [
+    "ExternalWorkload",
+    "GraphFormat",
+    "FORMATS",
+    "format_names",
+    "sniff_format",
+    "load_workload",
+    "loads_workload",
+    "save_workload",
+    "dumps_workload",
+    "convert_file",
+    "relabel_tasks",
+    "graphs_equal",
+    "content_hash",
+    "read_stg",
+    "write_stg",
+    "read_dot",
+    "write_dot",
+    "read_trace",
+    "write_trace",
+]
+
+TRACE_FORMAT = "repro-trace"
+TRACE_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# the common container readers return
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExternalWorkload:
+    """An imported task graph, plus whatever platform data the file had.
+
+    ``exec_costs`` is ``None`` for platform-independent formats (stg,
+    dot, json); trace files with per-task ``costs`` vectors populate it
+    with the *actual* execution cost of every task on every processor,
+    exactly as read — heterogeneity is preserved, never re-sampled.
+
+    Examples
+    --------
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("tiny"); g.add_task(0, 5.0); g.add_task(1, 3.0)
+    >>> g.add_edge(0, 1, 2.0)
+    >>> wl = ExternalWorkload(graph=g)
+    >>> wl.n_procs is None
+    True
+    >>> from repro.network.topology import chain
+    >>> system = wl.bind(chain(2), het_range=(1.0, 2.0), seed=0)
+    >>> system.n_procs
+    2
+    """
+
+    graph: TaskGraph
+    #: task id -> per-processor actual execution costs (trace files only)
+    exec_costs: Optional[Mapping[TaskId, Tuple[float, ...]]] = None
+    #: where the workload came from ("<memory>" when built from text)
+    source: str = "<memory>"
+    #: registry name of the format it was read from
+    fmt: str = "trace"
+    #: sha256 of the raw file text ("" when built programmatically)
+    content_hash: str = ""
+
+    @property
+    def n_procs(self) -> Optional[int]:
+        """Processor count implied by the cost vectors (``None`` if the
+        format carried no platform data)."""
+        if self.exec_costs is None:
+            return None
+        return len(next(iter(self.exec_costs.values())))
+
+    def bind(
+        self,
+        topology,
+        het_range: Tuple[float, float] = (1.0, 50.0),
+        link_het_range: Optional[Tuple[float, float]] = None,
+        seed: int = 0,
+    ):
+        """Bind the workload to ``topology`` as a
+        :class:`~repro.network.system.HeterogeneousSystem`.
+
+        With per-processor cost vectors the topology size must match and
+        the vectors are used verbatim (``from_exec_table``); otherwise
+        execution factors are sampled from ``het_range`` exactly like
+        the generated suites.
+        """
+        from repro.network.system import HeterogeneousSystem, LinkHeterogeneity
+        from repro.util.rng import RngStream
+
+        if self.exec_costs is None:
+            return HeterogeneousSystem.sample(
+                self.graph,
+                topology,
+                het_range=het_range,
+                link_het_range=link_het_range,
+                seed=seed,
+            )
+        if topology.n_procs != self.n_procs:
+            raise ConfigurationError(
+                f"workload {self.graph.name!r} carries {self.n_procs}-processor "
+                f"cost vectors but topology {topology.name!r} has "
+                f"{topology.n_procs} processors"
+            )
+        if link_het_range is None:
+            return HeterogeneousSystem.from_exec_table(
+                self.graph, topology, self.exec_costs
+            )
+        llo, lhi = link_het_range
+        return HeterogeneousSystem.from_exec_table(
+            self.graph,
+            topology,
+            self.exec_costs,
+            link_mode=LinkHeterogeneity.PER_MESSAGE_LINK,
+            link_factor_range=(llo, lhi),
+            link_seed=RngStream(seed).fork("link-factors").seed,
+        )
+
+
+def _as_graph(obj) -> TaskGraph:
+    """Accept a TaskGraph, an ExternalWorkload, or a HeterogeneousSystem."""
+    if isinstance(obj, TaskGraph):
+        return obj
+    if isinstance(obj, ExternalWorkload):
+        return obj.graph
+    graph = getattr(obj, "graph", None)
+    if isinstance(graph, TaskGraph):
+        return graph
+    raise GraphError(f"cannot interpret {type(obj).__name__} as a task graph")
+
+
+def _is_interchange_id(task) -> bool:
+    """True for the id types every interchange format can carry: int or
+    str (bool is an int subclass but would not survive a round trip)."""
+    return isinstance(task, (int, str)) and not isinstance(task, bool)
+
+
+def _id_repr(task: TaskId) -> str:
+    """Repr of an int/str task id, rejecting everything else up front.
+
+    The repr is a Python literal, so :func:`repro.graph.io._parse_id`
+    inverts it exactly (escapes and embedded newlines included) and the
+    one-line-per-record formats stay line-based."""
+    if not _is_interchange_id(task):
+        raise GraphError(
+            f"interchange formats support int and str task ids; got "
+            f"{task!r} ({type(task).__name__}) — relabel with "
+            f"relabel_tasks() first"
+        )
+    return repr(task)
+
+
+def _num(x: float) -> str:
+    """Exact, round-trippable text for a float (shortest repr)."""
+    return repr(float(x))
+
+
+def content_hash(text: str) -> str:
+    """sha256 hex digest of the raw file text.
+
+    >>> content_hash("42\\n")[:12]
+    '084c799cd551'
+    """
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# STG — Standard Task Graph (Kasahara suite) with #@ extensions
+# ----------------------------------------------------------------------
+
+def write_stg(obj) -> str:
+    """Serialize a graph to STG text (with ``#@`` fidelity directives).
+
+    The body is plain Kasahara STG — task count, then one
+    ``index cost n_preds pred...`` line per task in insertion order —
+    readable by any STG consumer. Trailing ``#@`` comments record the
+    graph name, non-index task ids, and exact communication costs so
+    :func:`read_stg` reconstructs the graph losslessly. Per-processor
+    cost vectors (trace workloads) are not representable; only the
+    nominal graph is written.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("pair"); g.add_task(0, 2.0); g.add_task(1, 4.0)
+    >>> g.add_edge(0, 1, 3.0)
+    >>> print(write_stg(g))
+    # STG written by repro.graph.interchange (directives: #@)
+    2
+    0 2.0 0
+    1 4.0 1 0
+    #@ name "pair"
+    #@ comm 0 1 3.0
+    """
+    graph = _as_graph(obj)
+    tasks = graph.tasks()
+    index = {t: i for i, t in enumerate(tasks)}
+    for t in tasks:
+        _id_repr(t)  # reject non-int/str ids before emitting anything
+    lines = ["# STG written by repro.graph.interchange (directives: #@)"]
+    lines.append(str(len(tasks)))
+    for t in tasks:
+        preds = [str(index[p]) for p in graph.predecessors(t)]
+        lines.append(
+            f"{index[t]} {_num(graph.cost(t))} {len(preds)}"
+            + ("" if not preds else " " + " ".join(preds))
+        )
+    # JSON-encoded so empty names and embedded newlines survive the
+    # line-based format
+    lines.append(f"#@ name {json.dumps(graph.name)}")
+    for t in tasks:
+        if t != index[t]:
+            lines.append(f"#@ task {index[t]} {_id_repr(t)}")
+    for u, v in graph.edges():
+        lines.append(f"#@ comm {index[u]} {index[v]} {_num(graph.comm_cost(u, v))}")
+    return "\n".join(lines)
+
+
+def read_stg(
+    text: str,
+    name: Optional[str] = None,
+    default_comm: float = 1.0,
+    strip_dummies: bool = True,
+) -> ExternalWorkload:
+    """Parse STG text into an :class:`ExternalWorkload`.
+
+    Accepts both layouts found in the wild: a declared count matching
+    the task lines exactly, or the Kasahara convention of ``count + 2``
+    lines where the first and last tasks are zero-cost dummy entry/exit
+    nodes. Zero-cost source/sink tasks are stripped when
+    ``strip_dummies`` (the model requires positive costs); a zero-cost
+    *interior* task is an error. Edges found only in the task lines get
+    ``default_comm`` as communication cost; ``#@ comm`` directives give
+    exact per-edge costs.
+
+    >>> wl = read_stg("2\\n0 10 0\\n1 20 1 0\\n", default_comm=5.0)
+    >>> wl.graph.comm_cost(0, 1)
+    5.0
+    """
+    if default_comm < 0:
+        raise GraphError(f"default_comm must be >= 0, got {default_comm}")
+    directives: List[Tuple[str, str]] = []
+    body: List[str] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if line.startswith("#@"):
+            parts = line[2:].strip().split(None, 1)
+            if len(parts) != 2:
+                raise GraphError(f"malformed STG directive: {raw!r}")
+            directives.append((parts[0], parts[1]))
+        elif not line or line.startswith("#"):
+            continue
+        else:
+            body.append(line)
+    if not body:
+        raise GraphError("STG text has no task lines")
+    try:
+        declared = int(body[0])
+    except ValueError:
+        raise GraphError(f"STG must start with a task count, got {body[0]!r}") from None
+    task_lines = body[1:]
+    if len(task_lines) not in (declared, declared + 2):
+        raise GraphError(
+            f"STG declares {declared} tasks but has {len(task_lines)} task "
+            f"lines (expected {declared} or, with dummy entry/exit, "
+            f"{declared + 2})"
+        )
+
+    costs: Dict[int, float] = {}
+    preds: Dict[int, List[int]] = {}
+    order: List[int] = []
+    for line in task_lines:
+        fields = line.split()
+        if len(fields) < 3:
+            raise GraphError(f"malformed STG task line: {line!r}")
+        try:
+            idx = int(fields[0])
+            cost = float(fields[1])
+            n_preds = int(fields[2])
+        except ValueError:
+            raise GraphError(f"malformed STG task line: {line!r}") from None
+        if idx in costs:
+            raise GraphError(f"duplicate STG task index {idx}")
+        if len(fields) != 3 + n_preds:
+            raise GraphError(
+                f"STG task {idx} declares {n_preds} predecessors but "
+                f"lists {len(fields) - 3}"
+            )
+        try:
+            plist = [int(f) for f in fields[3:]]
+        except ValueError:
+            raise GraphError(f"malformed STG predecessor list: {line!r}") from None
+        costs[idx] = cost
+        preds[idx] = plist
+        order.append(idx)
+    for idx, plist in preds.items():
+        for p in plist:
+            if p not in costs:
+                raise GraphError(f"STG task {idx} references unknown task {p}")
+
+    # apply directives before stripping so renames survive
+    graph_name = name
+    id_of: Dict[int, TaskId] = {}
+    comm: Dict[Tuple[int, int], float] = {}
+    for key, value in directives:
+        if key == "name":
+            if graph_name is None:
+                try:
+                    decoded = json.loads(value)
+                except ValueError:
+                    decoded = value  # hand-written unquoted name
+                graph_name = decoded if isinstance(decoded, str) else value
+        elif key == "task":
+            parts = value.split(None, 1)
+            if len(parts) != 2:
+                raise GraphError(f"malformed #@ task directive: {value!r}")
+            try:
+                id_of[int(parts[0])] = _parse_id(parts[1])
+            except ValueError:
+                raise GraphError(
+                    f"malformed #@ task directive: {value!r}"
+                ) from None
+        elif key == "comm":
+            parts = value.split()
+            if len(parts) != 3:
+                raise GraphError(f"malformed #@ comm directive: {value!r}")
+            try:
+                comm[(int(parts[0]), int(parts[1]))] = float(parts[2])
+            except ValueError:
+                raise GraphError(
+                    f"malformed #@ comm directive: {value!r}"
+                ) from None
+        else:
+            raise GraphError(f"unknown STG directive #@ {key}")
+
+    succ_count = {idx: 0 for idx in order}
+    for idx, plist in preds.items():
+        for p in plist:
+            succ_count[p] += 1
+    if strip_dummies:
+        # iteratively drop zero-cost entry/exit tasks (published STG
+        # files pad with one of each; stripping can expose another)
+        while True:
+            dead = [
+                idx for idx in order
+                if costs[idx] == 0.0 and (not preds[idx] or succ_count[idx] == 0)
+            ]
+            if not dead:
+                break
+            for idx in dead:
+                for p in preds[idx]:
+                    if p in succ_count:  # pred may be dead in the same round
+                        succ_count[p] -= 1
+                order.remove(idx)
+                del costs[idx], preds[idx], succ_count[idx]
+            for idx in order:
+                preds[idx] = [p for p in preds[idx] if p in costs]
+
+    graph = TaskGraph(name=graph_name if graph_name is not None else "stg")
+    for idx in order:
+        if costs[idx] <= 0:
+            raise GraphError(
+                f"STG task {idx} has non-positive cost {costs[idx]!r}; the "
+                f"model requires positive execution costs (zero-cost "
+                f"entry/exit dummies are stripped automatically)"
+            )
+        graph.add_task(id_of.get(idx, idx), costs[idx])
+    for idx in order:
+        for p in preds[idx]:
+            c = comm.get((p, idx), default_comm)
+            graph.add_edge(id_of.get(p, p), id_of.get(idx, idx), c)
+    return ExternalWorkload(graph=graph, fmt="stg", content_hash=content_hash(text))
+
+
+# ----------------------------------------------------------------------
+# DOT — Graphviz digraph with cost=/comm= attributes
+# ----------------------------------------------------------------------
+
+_DOT_BARE = r"[A-Za-z0-9_.\-]+"
+_DOT_QUOTED = r'"(?:[^"\\]|\\.)*"'
+# re.S: quoted ids/labels may contain literal newlines
+_DOT_ID = re.compile(rf"({_DOT_QUOTED}|{_DOT_BARE})", re.S)
+_DOT_ATTR = re.compile(rf"(\w+)\s*=\s*({_DOT_QUOTED}|[^,\s\]]+)", re.S)
+
+
+def _split_attr_block(stmt: str) -> Tuple[str, str]:
+    """Split a DOT statement into ``(core, attr text)`` at the first
+    ``[`` that sits *outside* quoted ids (a quoted id may contain one);
+    the attr block runs to the last ``]``."""
+    in_quote = False
+    escaped = False
+    for i, ch in enumerate(stmt):
+        if in_quote:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_quote = False
+        elif ch == '"':
+            in_quote = True
+        elif ch == "[":
+            end = stmt.rfind("]")
+            return stmt[:i].strip(), stmt[i + 1:end if end > i else len(stmt)]
+    return stmt.strip(), ""
+
+
+def _split_arrows(core: str) -> List[str]:
+    """Split an edge chain on ``->`` outside quoted ids (a quoted id may
+    legally contain the arrow, e.g. ``"a->b" [cost=1.0]``)."""
+    parts: List[str] = []
+    current: List[str] = []
+    in_quote = False
+    escaped = False
+    i = 0
+    while i < len(core):
+        ch = core[i]
+        if in_quote:
+            current.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_quote = False
+        elif ch == '"':
+            in_quote = True
+            current.append(ch)
+        elif core.startswith("->", i):
+            parts.append("".join(current))
+            current = []
+            i += 2
+            continue
+        else:
+            current.append(ch)
+        i += 1
+    parts.append("".join(current))
+    return [p.strip() for p in parts]
+
+
+def _dot_escape(s: str) -> str:
+    return s.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _dot_render_id(task: TaskId) -> str:
+    """Ints render bare, strings quoted — the reader inverts this, so
+    id *types* survive the round trip."""
+    _id_repr(task)
+    if isinstance(task, int):
+        return str(task)
+    return f'"{_dot_escape(task)}"'
+
+
+def _dot_parse_id(token: str) -> TaskId:
+    token = token.strip()
+    if token.startswith('"'):
+        return token[1:-1].replace('\\"', '"').replace("\\\\", "\\")
+    try:
+        return int(token)
+    except ValueError:
+        return token
+
+
+def write_dot(obj) -> str:
+    """Serialize a graph to DOT with exact ``cost=`` / ``comm=`` attrs.
+
+    Unlike the display-oriented :func:`repro.graph.io.to_dot` (whose
+    ``%g`` labels are lossy), every cost is also stored as a full-repr
+    attribute, so ``read_dot(write_dot(g))`` is exact. Integer ids
+    render as bare numerals and string ids as quoted strings, which is
+    how the reader tells them apart.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("pair"); g.add_task("a", 2.0); g.add_task(1, 4.0)
+    >>> g.add_edge("a", 1, 0.5)
+    >>> print(write_dot(g))
+    digraph "pair" {
+      "a" [label="a\\n2" cost=2.0];
+      1 [label="1\\n4" cost=4.0];
+      "a" -> 1 [label="0.5" comm=0.5];
+    }
+    """
+    graph = _as_graph(obj)
+    lines = [f'digraph "{_dot_escape(graph.name)}" {{']
+    for t in graph.tasks():
+        lines.append(
+            f'  {_dot_render_id(t)} [label="{_dot_escape(str(t))}'
+            f'\\n{graph.cost(t):g}" cost={_num(graph.cost(t))}];'
+        )
+    for u, v in graph.edges():
+        c = graph.comm_cost(u, v)
+        lines.append(
+            f"  {_dot_render_id(u)} -> {_dot_render_id(v)} "
+            f'[label="{c:g}" comm={_num(c)}];'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _dot_statements(text: str) -> Tuple[Optional[str], List[str]]:
+    """Split DOT text into (graph name, statement strings)."""
+    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", "", text)
+    m = re.search(rf"digraph\s*({_DOT_QUOTED}|{_DOT_BARE})?\s*\{{", text)
+    if not m:
+        raise GraphError("not a DOT digraph (no 'digraph ... {' found)")
+    name = _dot_parse_id(m.group(1)) if m.group(1) else None
+    end = text.rfind("}")
+    body = text[m.end():end if end > m.end() else len(text)]
+    # split on ';' / newline, but never inside a quoted string (labels
+    # may contain either) or inside an attribute [...] block
+    statements: List[str] = []
+    current: List[str] = []
+    in_quote = False
+    escaped = False
+    depth = 0
+    for ch in body:
+        if in_quote:
+            current.append(ch)
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_quote = False
+        elif ch == '"':
+            in_quote = True
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth = max(0, depth - 1)
+            current.append(ch)
+        elif ch in ";\n" and depth == 0:
+            stmt = "".join(current).strip()
+            if stmt:
+                statements.append(stmt)
+            current = []
+        else:
+            current.append(ch)
+    stmt = "".join(current).strip()
+    if stmt:
+        statements.append(stmt)
+    return (str(name) if name is not None else None), statements
+
+
+def read_dot(
+    text: str,
+    name: Optional[str] = None,
+    default_cost: Optional[float] = None,
+    default_comm: float = 0.0,
+) -> ExternalWorkload:
+    """Parse a DOT digraph into an :class:`ExternalWorkload`.
+
+    Reads the :func:`write_dot` dialect exactly; for foreign DOT it
+    falls back, per node/edge, to a trailing ``\\n<number>`` in the
+    ``label`` (the :func:`repro.graph.io.to_dot` convention, lossy at
+    ``%g`` precision) and then to ``default_cost`` / ``default_comm``.
+    A node with no recoverable cost is an error unless ``default_cost``
+    is given.
+
+    >>> wl = read_dot('digraph d { 0 [cost=3.0]; 1 [cost=1.0]; 0 -> 1; }')
+    >>> wl.graph.n_tasks, wl.graph.comm_cost(0, 1)
+    (2, 0.0)
+    """
+    if default_comm < 0:
+        raise GraphError(f"default_comm must be >= 0, got {default_comm}")
+    dot_name, statements = _dot_statements(text)
+    node_attrs: Dict[TaskId, Dict[str, str]] = {}
+    node_order: List[TaskId] = []
+    edges: List[Tuple[TaskId, TaskId, Dict[str, str]]] = []
+
+    def note_node(task: TaskId, attrs: Dict[str, str]) -> None:
+        if task not in node_attrs:
+            node_attrs[task] = {}
+            node_order.append(task)
+        node_attrs[task].update(attrs)
+
+    for stmt in statements:
+        core, attr_text = _split_attr_block(stmt)
+        attrs = {k: v for k, v in _DOT_ATTR.findall(attr_text)}
+        if not core:
+            continue
+        if core in ("graph", "node", "edge"):
+            continue  # default-attribute statements carry no structure
+        parts = _split_arrows(core)
+        if len(parts) > 1:
+            ids = []
+            for p in parts:
+                m_id = _DOT_ID.fullmatch(p)
+                if not m_id:
+                    raise GraphError(f"cannot parse DOT edge endpoint {p!r}")
+                ids.append(_dot_parse_id(m_id.group(1)))
+            for u, v in zip(ids, ids[1:]):
+                edges.append((u, v, attrs))
+        elif "=" in core and not core.startswith('"'):
+            continue  # bare graph attribute like rankdir=LR
+        else:
+            m_id = _DOT_ID.fullmatch(core)
+            if not m_id:
+                raise GraphError(f"cannot parse DOT statement {stmt!r}")
+            note_node(_dot_parse_id(m_id.group(1)), attrs)
+    for u, v, _ in edges:
+        note_node(u, {})
+        note_node(v, {})
+
+    def _value(attrs: Dict[str, str], key: str, fallback: Optional[float]) -> Optional[float]:
+        if key in attrs:
+            try:
+                return float(_dot_parse_id(attrs[key]))
+            except ValueError:
+                raise GraphError(
+                    f"DOT attribute {key}={attrs[key]!r} is not a number"
+                ) from None
+        label = attrs.get("label")
+        if label is not None:
+            tail = str(_dot_parse_id(label)).split("\\n")[-1]
+            try:
+                return float(tail)
+            except ValueError:
+                pass
+        return fallback
+
+    if name is None:
+        name = dot_name if dot_name is not None else "dot"
+    graph = TaskGraph(name=name)
+    for t in node_order:
+        cost = _value(node_attrs[t], "cost", default_cost)
+        if cost is None:
+            raise GraphError(
+                f"DOT node {t!r} has no cost= attribute or numeric label; "
+                f"pass default_cost to import cost-less DOT files"
+            )
+        graph.add_task(t, cost)
+    for u, v, attrs in edges:
+        graph.add_edge(u, v, _value(attrs, "comm", default_comm))
+    return ExternalWorkload(graph=graph, fmt="dot", content_hash=content_hash(text))
+
+
+# ----------------------------------------------------------------------
+# trace — JSON workflow trace with per-processor cost vectors
+# ----------------------------------------------------------------------
+
+def write_trace(obj, indent: Optional[int] = 2) -> str:
+    """Serialize to the JSON workflow-trace schema.
+
+    Accepts a :class:`~repro.graph.model.TaskGraph` (scalar ``cost`` per
+    task), an :class:`ExternalWorkload`, or a
+    :class:`~repro.network.system.HeterogeneousSystem` — the latter two
+    emit per-processor ``costs`` vectors when they have them, so a
+    bound platform's heterogeneity is preserved verbatim.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("t"); g.add_task(0, 1.5)
+    >>> print(write_trace(g, indent=None))
+    {"format": "repro-trace", "version": 1, "name": "t", "tasks": [{"id": 0, "cost": 1.5}], "edges": []}
+    """
+    graph = _as_graph(obj)
+    exec_costs: Optional[Mapping[TaskId, Tuple[float, ...]]] = None
+    if isinstance(obj, ExternalWorkload):
+        exec_costs = obj.exec_costs
+    elif not isinstance(obj, TaskGraph):  # HeterogeneousSystem-like
+        exec_costs = {t: obj.exec_cost_row(t) for t in graph.tasks()}
+    for t in graph.tasks():
+        _id_repr(t)
+    doc: Dict[str, Any] = {
+        "format": TRACE_FORMAT,
+        "version": TRACE_VERSION,
+        "name": graph.name,
+    }
+    if exec_costs is not None:
+        doc["n_procs"] = len(next(iter(exec_costs.values())))
+        doc["tasks"] = [
+            {"id": t, "costs": list(exec_costs[t])} for t in graph.tasks()
+        ]
+    else:
+        doc["tasks"] = [
+            {"id": t, "cost": graph.cost(t)} for t in graph.tasks()
+        ]
+    doc["edges"] = [
+        {"src": u, "dst": v, "comm": graph.comm_cost(u, v)}
+        for u, v in graph.edges()
+    ]
+    return json.dumps(doc, indent=indent)
+
+
+def read_trace(text: str, name: Optional[str] = None) -> ExternalWorkload:
+    """Parse a JSON workflow trace into an :class:`ExternalWorkload`.
+
+    Strict: the document must declare ``"format": "repro-trace"`` and a
+    supported version; tasks must uniformly use scalar ``cost`` or
+    vector ``costs`` (vectors all of length ``n_procs``); ids must be
+    JSON ints or strings. With vectors, the graph's nominal cost is the
+    vector minimum — "cost on the fastest processor", matching the
+    paper's convention — and the full table lands in ``exec_costs``.
+
+    >>> wl = read_trace(
+    ...     '{"format": "repro-trace", "version": 1, "n_procs": 2,'
+    ...     ' "tasks": [{"id": "a", "costs": [4.0, 2.0]}], "edges": []}')
+    >>> wl.graph.cost("a"), wl.exec_costs["a"], wl.n_procs
+    (2.0, (4.0, 2.0), 2)
+    """
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise GraphError(f"trace is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("format") != TRACE_FORMAT:
+        raise GraphError(
+            f"not a {TRACE_FORMAT} document (format={doc.get('format')!r} "
+            "if it parsed at all)" if isinstance(doc, dict)
+            else f"not a {TRACE_FORMAT} document"
+        )
+    if doc.get("version") != TRACE_VERSION:
+        raise GraphError(f"unsupported trace version {doc.get('version')!r}")
+    tasks = doc.get("tasks")
+    if not isinstance(tasks, list) or not tasks:
+        raise GraphError("trace has no tasks")
+    has_vectors = any("costs" in t for t in tasks)
+    has_scalars = any("cost" in t for t in tasks)
+    if has_vectors and has_scalars:
+        raise GraphError("trace mixes scalar 'cost' and vector 'costs' tasks")
+    if not has_vectors and not has_scalars:
+        raise GraphError("trace tasks carry neither 'cost' nor 'costs'")
+    n_procs = doc.get("n_procs")
+    if has_vectors:
+        if not isinstance(n_procs, int) or n_procs <= 0:
+            raise GraphError(
+                "trace with per-processor 'costs' vectors must declare a "
+                "positive integer 'n_procs'"
+            )
+    graph = TaskGraph(name=name or str(doc.get("name", "trace")))
+    exec_costs: Dict[TaskId, Tuple[float, ...]] = {}
+    for entry in tasks:
+        if not isinstance(entry, dict) or "id" not in entry:
+            raise GraphError(f"malformed trace task entry {entry!r}")
+        tid = entry["id"]
+        if not _is_interchange_id(tid):
+            raise GraphError(f"trace task id must be int or str, got {tid!r}")
+        if has_vectors:
+            row = entry.get("costs")
+            if not isinstance(row, list) or len(row) != n_procs:
+                raise GraphError(
+                    f"task {tid!r}: 'costs' must be a list of {n_procs} numbers"
+                )
+            try:
+                row_t = tuple(float(c) for c in row)
+            except (TypeError, ValueError):
+                raise GraphError(
+                    f"task {tid!r}: 'costs' must be numbers, got {row!r}"
+                ) from None
+            if any(c <= 0 for c in row_t):
+                raise GraphError(f"task {tid!r}: execution costs must be positive")
+            graph.add_task(tid, min(row_t))
+            exec_costs[tid] = row_t
+        else:
+            try:
+                cost = float(entry["cost"])
+            except (TypeError, ValueError):
+                raise GraphError(
+                    f"task {tid!r}: 'cost' must be a number, got "
+                    f"{entry['cost']!r}"
+                ) from None
+            graph.add_task(tid, cost)
+    for entry in doc.get("edges", []):
+        if not isinstance(entry, dict) or "src" not in entry or "dst" not in entry:
+            raise GraphError(f"malformed trace edge entry {entry!r}")
+        try:
+            comm = float(entry.get("comm", 0.0))
+        except (TypeError, ValueError):
+            raise GraphError(
+                f"edge {entry.get('src')!r}->{entry.get('dst')!r}: 'comm' "
+                f"must be a number, got {entry.get('comm')!r}"
+            ) from None
+        graph.add_edge(entry["src"], entry["dst"], comm)
+    return ExternalWorkload(
+        graph=graph,
+        exec_costs=exec_costs or None,
+        fmt="trace",
+        content_hash=content_hash(text),
+    )
+
+
+# ----------------------------------------------------------------------
+# the cache-native json dialect (graph/io.py), for convert completeness
+# ----------------------------------------------------------------------
+
+def _read_json(text: str, name: Optional[str] = None) -> ExternalWorkload:
+    graph = graph_from_json(text)
+    if name is not None:
+        graph.name = name
+    return ExternalWorkload(graph=graph, fmt="json", content_hash=content_hash(text))
+
+
+def _write_json(obj) -> str:
+    return graph_to_json(_as_graph(obj))
+
+
+# ----------------------------------------------------------------------
+# registry + sniffing
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GraphFormat:
+    """One interchange format: how to read, write and recognize it."""
+
+    name: str
+    extensions: Tuple[str, ...]
+    reader: Callable[..., ExternalWorkload]
+    writer: Callable[[Any], str]
+    sniffer: Callable[[str], bool]
+    description: str
+
+
+def _sniff_stg(text: str) -> bool:
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        return bool(re.fullmatch(r"\d+", line))
+    return False
+
+
+def _sniff_dot(text: str) -> bool:
+    return re.search(r"\bdigraph\b", text) is not None
+
+
+def _json_doc(text: str) -> Optional[dict]:
+    if not text.lstrip().startswith("{"):
+        return None
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def _sniff_trace(text: str) -> bool:
+    doc = _json_doc(text)
+    return doc is not None and doc.get("format") == TRACE_FORMAT
+
+
+def _sniff_json(text: str) -> bool:
+    doc = _json_doc(text)
+    return (
+        doc is not None
+        and "format" not in doc
+        and "tasks" in doc
+        and "version" in doc
+    )
+
+
+#: the interchange registry, keyed by format name
+FORMATS: Dict[str, GraphFormat] = {
+    "stg": GraphFormat(
+        "stg", (".stg",), read_stg, write_stg, _sniff_stg,
+        "Standard Task Graph (Kasahara) with #@ fidelity directives",
+    ),
+    "dot": GraphFormat(
+        "dot", (".dot", ".gv"), read_dot, write_dot, _sniff_dot,
+        "Graphviz digraph with exact cost=/comm= attributes",
+    ),
+    "trace": GraphFormat(
+        "trace", (".trace.json", ".trace"), read_trace, write_trace, _sniff_trace,
+        "JSON workflow trace (optional per-processor cost vectors)",
+    ),
+    "json": GraphFormat(
+        "json", (".json",), _read_json, _write_json, _sniff_json,
+        "repro.graph.io cache-native JSON dict",
+    ),
+}
+
+
+def format_names() -> Tuple[str, ...]:
+    """Registered format names, in registry order.
+
+    >>> format_names()
+    ('stg', 'dot', 'trace', 'json')
+    """
+    return tuple(FORMATS)
+
+
+def _formats_by_extension(filename: str) -> List[Tuple[int, str]]:
+    """``(matched suffix length, format name)`` for every format whose
+    extension matches ``filename``, longest suffix first — the shared
+    tie-break for sniffing and for :func:`save_workload` (so
+    ``x.trace.json`` resolves to ``trace`` over ``json`` in both)."""
+    lowered = filename.lower()
+    scored = []
+    for f in FORMATS.values():
+        lengths = [len(ext) for ext in f.extensions if lowered.endswith(ext)]
+        if lengths:
+            scored.append((max(lengths), f.name))
+    scored.sort(key=lambda s: -s[0])
+    return scored
+
+
+def sniff_format(text: str, filename: Optional[str] = None) -> str:
+    """Identify the format of ``text`` (filename extension helps but the
+    content decides — ``.json`` may be a trace or a plain graph dict).
+
+    >>> sniff_format("digraph g { }")
+    'dot'
+    >>> sniff_format("3\\n", filename="graphs/app.stg")
+    'stg'
+    """
+    candidates = [f.name for f in FORMATS.values() if f.sniffer(text)]
+    if len(candidates) == 1:
+        return candidates[0]
+    if filename:
+        scored = _formats_by_extension(filename)
+        if candidates:
+            scored = [s for s in scored if s[1] in candidates]
+        if scored and (len(scored) == 1 or scored[0][0] > scored[1][0]):
+            return scored[0][1]
+    if candidates:
+        raise GraphError(
+            f"ambiguous graph format (matches {candidates}); "
+            f"pass fmt= explicitly"
+        )
+    raise GraphError(
+        f"cannot determine graph format"
+        + (f" of {filename!r}" if filename else "")
+        + f"; known formats: {list(FORMATS)}"
+    )
+
+
+def loads_workload(
+    text: str,
+    fmt: Optional[str] = None,
+    validate: bool = True,
+    require_connected: bool = True,
+    **reader_kwargs,
+) -> ExternalWorkload:
+    """Read a workload from in-memory text (see :func:`load_workload`)."""
+    if fmt is None:
+        fmt = sniff_format(text)
+    try:
+        handler = FORMATS[fmt]
+    except KeyError:
+        raise GraphError(
+            f"unknown graph format {fmt!r}; known: {list(FORMATS)}"
+        ) from None
+    if reader_kwargs:
+        # options are format-specific (default_comm means nothing to a
+        # trace, which carries explicit costs) — pass through only what
+        # this reader understands, so callers can set options that
+        # apply "wherever relevant" without pre-sniffing the format.
+        # A kwarg no registered reader accepts is a typo, not an
+        # inapplicable option — reject it instead of silently dropping.
+        import inspect
+
+        known = {
+            name
+            for f in FORMATS.values()
+            for name in inspect.signature(f.reader).parameters
+        }
+        unknown = sorted(set(reader_kwargs) - known)
+        if unknown:
+            raise GraphError(
+                f"unknown reader option(s) {unknown}; no registered "
+                f"format accepts them"
+            )
+        accepted = inspect.signature(handler.reader).parameters
+        reader_kwargs = {k: v for k, v in reader_kwargs.items() if k in accepted}
+    workload = handler.reader(text, **reader_kwargs)
+    if validate:
+        validate_graph(workload.graph, require_connected=require_connected)
+    return workload
+
+
+def load_workload(
+    path: str,
+    fmt: Optional[str] = None,
+    validate: bool = True,
+    require_connected: bool = True,
+    **reader_kwargs,
+) -> ExternalWorkload:
+    """Read a task-graph file, sniffing the format unless ``fmt`` given.
+
+    The graph is validated strictly (non-empty, acyclic and — unless
+    ``require_connected=False`` — weakly connected, the paper's
+    standing assumption) before it is returned. Reader keyword options
+    (``default_comm``, ``strip_dummies``, ``default_cost``, ...) pass
+    through to the format's reader.
+    """
+    with open(path) as fh:
+        text = fh.read()
+    if fmt is None:
+        fmt = sniff_format(text, filename=path)
+    workload = loads_workload(
+        text, fmt, validate=validate,
+        require_connected=require_connected, **reader_kwargs,
+    )
+    return dataclasses.replace(workload, source=path)
+
+
+def dumps_workload(obj, fmt: str) -> str:
+    """Serialize a graph/workload/system to ``fmt`` text."""
+    try:
+        handler = FORMATS[fmt]
+    except KeyError:
+        raise GraphError(
+            f"unknown graph format {fmt!r}; known: {list(FORMATS)}"
+        ) from None
+    return handler.writer(obj)
+
+
+def save_workload(obj, path: str, fmt: Optional[str] = None) -> str:
+    """Write a graph/workload/system to ``path``; format from extension
+    unless given. Returns the format name used."""
+    if fmt is None:
+        scored = _formats_by_extension(path)
+        if not scored:
+            raise GraphError(
+                f"cannot infer a graph format from {path!r}; pass fmt="
+            )
+        if len(scored) > 1 and scored[0][0] == scored[1][0]:
+            raise GraphError(
+                f"extension of {path!r} is ambiguous "
+                f"({[name for _, name in scored]}); pass fmt="
+            )
+        fmt = scored[0][1]
+    text = dumps_workload(obj, fmt)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return fmt
+
+
+def convert_file(
+    src: str,
+    dst: str,
+    from_fmt: Optional[str] = None,
+    to_fmt: Optional[str] = None,
+    validate: bool = True,
+    require_connected: bool = True,
+    **reader_kwargs,
+) -> Tuple[str, str, ExternalWorkload]:
+    """Convert ``src`` to ``dst`` between any two registered formats.
+
+    Returns ``(input format, output format, workload)``. Conversion to
+    a format that cannot carry per-processor cost vectors (everything
+    but ``trace``) keeps only the nominal graph.
+    """
+    workload = load_workload(
+        src, fmt=from_fmt, validate=validate,
+        require_connected=require_connected, **reader_kwargs,
+    )
+    out_fmt = save_workload(workload, dst, fmt=to_fmt)
+    return workload.fmt, out_fmt, workload
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+def relabel_tasks(
+    graph: TaskGraph,
+    rename: Optional[Callable[[TaskId], TaskId]] = None,
+    name: Optional[str] = None,
+) -> TaskGraph:
+    """Copy ``graph`` with every task id passed through ``rename``.
+
+    The default rename makes any graph interchange-safe: int/str ids
+    pass through, everything else (e.g. the tuple ids of the generated
+    regular applications) becomes a compact string.
+
+    >>> from repro.workloads.forkjoin import fork_join
+    >>> g = relabel_tasks(fork_join(1, 2))
+    >>> g.tasks()
+    ['J_0', 'F_1', 'W_1_0', 'W_1_1', 'J_1']
+    """
+    if rename is None:
+        def rename(t: TaskId) -> TaskId:
+            if _is_interchange_id(t):
+                return t
+            if isinstance(t, tuple):
+                return "_".join(str(part) for part in t)
+            return str(t)
+    mapping = {t: rename(t) for t in graph.tasks()}
+    if len(set(mapping.values())) != len(mapping):
+        raise GraphError("relabel_tasks: rename collapsed distinct task ids")
+    out = TaskGraph(name=name or graph.name)
+    for t in graph.tasks():
+        out.add_task(mapping[t], graph.cost(t))
+    for u, v in graph.edges():
+        out.add_edge(mapping[u], mapping[v], graph.comm_cost(u, v))
+    return out
+
+
+def graphs_equal(a: TaskGraph, b: TaskGraph, check_name: bool = False) -> bool:
+    """Exact structural equality: same task ids in the same insertion
+    order with identical costs, and the same edge set with identical
+    communication costs. (Edge *order* is not compared — STG groups
+    edges by destination, so only the set survives every round trip.)
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph(); g.add_task(0, 1.0)
+    >>> graphs_equal(g, g.copy())
+    True
+    """
+    if check_name and a.name != b.name:
+        return False
+    if a.tasks() != b.tasks():
+        return False
+    if any(a.cost(t) != b.cost(t) for t in a.tasks()):
+        return False
+    ea = {(u, v): a.comm_cost(u, v) for u, v in a.edges()}
+    eb = {(u, v): b.comm_cost(u, v) for u, v in b.edges()}
+    return ea == eb

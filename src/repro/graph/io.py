@@ -3,6 +3,16 @@
 Plain-dict / JSON round-trips are used by the experiment cache; networkx
 conversion is provided for users who want to build or analyse graphs with
 the wider ecosystem; DOT export helps eyeballing small graphs.
+
+For *external* graph formats (Standard Task Graph, DOT import, JSON
+workflow traces with per-processor cost vectors) see
+:mod:`repro.graph.interchange`, which registers this module's JSON
+dialect alongside them.
+
+>>> g = TaskGraph(name="demo")
+>>> g.add_task("a", 10.0); g.add_task("b", 5.0); g.add_edge("a", "b", 2.0)
+>>> graph_from_json(graph_to_json(g)).comm_cost("a", "b")
+2.0
 """
 
 from __future__ import annotations
@@ -17,7 +27,13 @@ _FORMAT_VERSION = 1
 
 
 def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
-    """Lossless plain-dict form (task ids are stringified for JSON safety)."""
+    """Lossless plain-dict form (task ids are stringified for JSON safety).
+
+    >>> g = TaskGraph(name="pair")
+    >>> g.add_task(0, 3.0); g.add_task("t", 4.0); g.add_edge(0, "t", 1.0)
+    >>> graph_to_dict(g)["tasks"]
+    [['0', 3.0], ["'t'", 4.0]]
+    """
     return {
         "version": _FORMAT_VERSION,
         "name": graph.name,
@@ -28,7 +44,12 @@ def graph_to_dict(graph: TaskGraph) -> Dict[str, Any]:
 
 def graph_from_dict(data: Dict[str, Any]) -> TaskGraph:
     """Inverse of :func:`graph_to_dict` (task ids come back via eval of repr
-    for the basic types we emit: int / str tuples are not supported)."""
+    for the basic types we emit: int / str tuples are not supported).
+
+    >>> g = TaskGraph(); g.add_task(7, 2.5)
+    >>> graph_from_dict(graph_to_dict(g)).cost(7)
+    2.5
+    """
     if data.get("version") != _FORMAT_VERSION:
         raise GraphError(f"unsupported graph format version {data.get('version')!r}")
     g = TaskGraph(name=data.get("name", "graph"))
@@ -40,26 +61,59 @@ def graph_from_dict(data: Dict[str, Any]) -> TaskGraph:
 
 
 def _parse_id(raw: str):
-    """Parse the repr of an int or str task id without a general eval."""
+    """Parse the repr of an int or str task id without a general eval.
+
+    Quoted ids go through ``ast.literal_eval`` so repr escapes
+    (backslashes, embedded quotes, newlines) invert exactly.
+
+    >>> _parse_id("12"), _parse_id("'T1'"), _parse_id(repr("back\\\\slash"))
+    (12, 'T1', 'back\\\\slash')
+    """
     try:
         return int(raw)
     except ValueError:
         pass
     if len(raw) >= 2 and raw[0] == raw[-1] and raw[0] in "'\"":
-        return raw[1:-1]
+        import ast
+
+        try:
+            value = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            raise GraphError(f"cannot parse task id {raw!r}") from None
+        if isinstance(value, str):
+            return value
     raise GraphError(f"cannot parse task id {raw!r}")
 
 
 def graph_to_json(graph: TaskGraph) -> str:
+    """Compact JSON text of :func:`graph_to_dict` (the cache dialect).
+
+    >>> g = TaskGraph(name="one"); g.add_task(0, 1.0)
+    >>> graph_to_json(g)
+    '{"version": 1, "name": "one", "tasks": [["0", 1.0]], "edges": []}'
+    """
     return json.dumps(graph_to_dict(graph), indent=None, sort_keys=False)
 
 
 def graph_from_json(text: str) -> TaskGraph:
+    """Inverse of :func:`graph_to_json`.
+
+    >>> graph_from_json(
+    ...     '{"version": 1, "name": "one", "tasks": [["0", 1.0]], "edges": []}'
+    ... ).n_tasks
+    1
+    """
     return graph_from_dict(json.loads(text))
 
 
 def to_networkx(graph: TaskGraph):
-    """Convert to a ``networkx.DiGraph`` with ``cost`` / ``comm`` attributes."""
+    """Convert to a ``networkx.DiGraph`` with ``cost`` / ``comm`` attributes.
+
+    >>> g = TaskGraph(); g.add_task(0, 1.0); g.add_task(1, 2.0)
+    >>> g.add_edge(0, 1, 3.0)
+    >>> to_networkx(g).edges[0, 1]["comm"]
+    3.0
+    """
     import networkx as nx
 
     g = nx.DiGraph(name=graph.name)
@@ -75,6 +129,10 @@ def from_networkx(nxg, name: str = None) -> TaskGraph:
 
     Node attribute ``cost`` (or ``weight``) gives execution cost; edge
     attribute ``comm`` (or ``weight``) gives communication cost.
+
+    >>> g = TaskGraph(); g.add_task("a", 4.0)
+    >>> from_networkx(to_networkx(g)).cost("a")
+    4.0
     """
     g = TaskGraph(name=name or getattr(nxg, "name", None) or "from_networkx")
     for node, attrs in nxg.nodes(data=True):
@@ -89,7 +147,18 @@ def from_networkx(nxg, name: str = None) -> TaskGraph:
 
 
 def to_dot(graph: TaskGraph) -> str:
-    """Graphviz DOT text for quick visual inspection of small graphs."""
+    """Graphviz DOT text for quick visual inspection of small graphs.
+
+    Costs render at ``%g`` precision — for an exact, re-importable DOT
+    export use :func:`repro.graph.interchange.write_dot` instead
+    (:func:`~repro.graph.interchange.read_dot` accepts both).
+
+    >>> g = TaskGraph(name="one"); g.add_task("a", 2.0)
+    >>> print(to_dot(g))
+    digraph "one" {
+      "a" [label="a\\n2"];
+    }
+    """
     lines = [f'digraph "{graph.name}" {{']
     for t in graph.tasks():
         lines.append(f'  "{t}" [label="{t}\\n{graph.cost(t):g}"];')

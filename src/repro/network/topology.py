@@ -38,7 +38,11 @@ DUPLEX_MODES = ("half", "full")
 
 
 def link_id(x: Proc, y: Proc) -> Link:
-    """Canonical (sorted) identifier of the undirected link between x and y."""
+    """Canonical (sorted) identifier of the undirected link between x and y.
+
+    >>> link_id(3, 1)
+    (1, 3)
+    """
     if x == y:
         raise TopologyError(f"no self-link on processor {x}")
     return (x, y) if x < y else (y, x)
@@ -343,7 +347,11 @@ class Topology:
 # ----------------------------------------------------------------------
 
 def ring(m: int, name: Optional[str] = None) -> Topology:
-    """Ring of ``m`` processors (paper topology (a))."""
+    """Ring of ``m`` processors (paper topology (a)).
+
+    >>> ring(4).links
+    [(0, 1), (0, 3), (1, 2), (2, 3)]
+    """
     if m < 3:
         raise TopologyError(f"ring needs >= 3 processors, got {m}")
     links = [(i, (i + 1) % m) for i in range(m)]
@@ -351,7 +359,11 @@ def ring(m: int, name: Optional[str] = None) -> Topology:
 
 
 def chain(m: int, name: Optional[str] = None) -> Topology:
-    """Open chain (line) of ``m`` processors."""
+    """Open chain (line) of ``m`` processors.
+
+    >>> chain(3).links
+    [(0, 1), (1, 2)]
+    """
     if m < 2:
         raise TopologyError(f"chain needs >= 2 processors, got {m}")
     links = [(i, i + 1) for i in range(m - 1)]
@@ -359,7 +371,11 @@ def chain(m: int, name: Optional[str] = None) -> Topology:
 
 
 def hypercube(m: int, name: Optional[str] = None) -> Topology:
-    """Binary hypercube; ``m`` must be a power of two (paper topology (b))."""
+    """Binary hypercube; ``m`` must be a power of two (paper topology (b)).
+
+    >>> hypercube(8).n_links, hypercube(8).diameter()
+    (12, 3)
+    """
     if m < 2 or (m & (m - 1)) != 0:
         raise TopologyError(f"hypercube size must be a power of two, got {m}")
     dim = m.bit_length() - 1
@@ -373,7 +389,11 @@ def hypercube(m: int, name: Optional[str] = None) -> Topology:
 
 
 def clique(m: int, name: Optional[str] = None) -> Topology:
-    """Fully connected network (paper topology (c))."""
+    """Fully connected network (paper topology (c)).
+
+    >>> clique(4).n_links
+    6
+    """
     if m < 2:
         raise TopologyError(f"clique needs >= 2 processors, got {m}")
     links = [(i, j) for i in range(m) for j in range(i + 1, m)]
@@ -385,14 +405,22 @@ fully_connected = clique
 
 
 def star(m: int, name: Optional[str] = None) -> Topology:
-    """Star: processor 0 is the hub."""
+    """Star: processor 0 is the hub.
+
+    >>> star(5).degree(0)
+    4
+    """
     if m < 2:
         raise TopologyError(f"star needs >= 2 processors, got {m}")
     return Topology(m, [(0, i) for i in range(1, m)], name or f"star{m}")
 
 
 def mesh2d(rows: int, cols: int, name: Optional[str] = None) -> Topology:
-    """2-D mesh of ``rows x cols`` processors."""
+    """2-D mesh of ``rows x cols`` processors.
+
+    >>> mesh2d(2, 3).n_links
+    7
+    """
     if rows < 1 or cols < 1 or rows * cols < 2:
         raise TopologyError(f"mesh needs >= 2 processors, got {rows}x{cols}")
     links = []
@@ -411,6 +439,9 @@ def torus2d(rows: int, cols: int, name: Optional[str] = None) -> Topology:
 
     Wrap links are only added when a dimension exceeds 2 (for dimension 2
     the wrap would duplicate the direct mesh link).
+
+    >>> torus2d(3, 3).n_links    # 9 procs, degree 4 each
+    18
     """
     if rows < 1 or cols < 1 or rows * cols < 3:
         raise TopologyError(f"torus needs >= 3 processors, got {rows}x{cols}")
@@ -445,6 +476,10 @@ def fat_tree(
     A link between depth-``d`` and depth-``d+1`` nodes has bandwidth
     ``bandwidth_base ** (max_depth - 1 - d)`` so leaf-level links have
     bandwidth 1 and capacity doubles (by default) every level up.
+
+    >>> t = fat_tree(8)
+    >>> t.bandwidth(0, 1), t.bandwidth(3, 7)
+    (4.0, 1.0)
     """
     if m < 2:
         raise TopologyError(f"fat tree needs >= 2 processors, got {m}")
@@ -491,6 +526,10 @@ def apply_link_model(
     *existing* bandwidth (so flipping a fat tree to full duplex preserves
     its fat links). ``duplex`` applies to every link. With both at their
     defaults the input topology is returned unchanged (same object).
+
+    >>> t = apply_link_model(ring(4), duplex="full")
+    >>> t.name, len(t.channels())
+    ('ring4+full', 8)
     """
     if duplex not in DUPLEX_MODES:
         raise TopologyError(f"duplex must be one of {DUPLEX_MODES}, got {duplex!r}")
@@ -520,7 +559,11 @@ def apply_link_model(
 
 
 def binary_tree(m: int, name: Optional[str] = None) -> Topology:
-    """Complete binary tree layout over ``m`` processors (heap indexing)."""
+    """Complete binary tree layout over ``m`` processors (heap indexing).
+
+    >>> binary_tree(7).neighbors(0)
+    [1, 2]
+    """
     if m < 2:
         raise TopologyError(f"tree needs >= 2 processors, got {m}")
     links = [(((i + 1) // 2) - 1, i) for i in range(1, m)]
@@ -540,6 +583,10 @@ def random_topology(
     Construction: a random spanning tree guarantees connectivity, then
     random extra links are added while respecting ``max_degree``; finally
     processors under ``min_degree`` get extra links where capacity allows.
+
+    >>> t = random_topology(16, 2, 8, seed=0)
+    >>> t.n_procs, min(t.degree(p) for p in t.processors) >= 2
+    (16, True)
     """
     if m < 2:
         raise TopologyError(f"random topology needs >= 2 processors, got {m}")
@@ -590,7 +637,11 @@ def random_topology(
 
 
 def paper_topologies(m: int = 16, seed: int = 0) -> "dict[str, Topology]":
-    """The four 16-processor topologies used in the paper's evaluation."""
+    """The four 16-processor topologies used in the paper's evaluation.
+
+    >>> sorted(paper_topologies())
+    ['clique', 'hypercube', 'random', 'ring']
+    """
     return {
         "ring": ring(m),
         "hypercube": hypercube(m),

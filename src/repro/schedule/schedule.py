@@ -30,7 +30,33 @@ from repro.util.intervals import Interval, Timeline
 
 
 class Schedule:
-    """A (possibly partial) mapping of tasks and messages onto a system."""
+    """A (possibly partial) mapping of tasks and messages onto a system.
+
+    The container is algorithm-agnostic: schedulers place tasks
+    (:meth:`place_task`), route messages (:meth:`set_route` /
+    :meth:`mark_local`), and either assign times directly or let
+    :func:`repro.schedule.settle.settle` derive them from the orders.
+
+    Examples
+    --------
+    Build a two-task schedule by hand on a two-processor chain:
+
+    >>> from repro.graph.model import TaskGraph
+    >>> from repro.network.system import HeterogeneousSystem
+    >>> from repro.network.topology import chain
+    >>> g = TaskGraph("tiny")
+    >>> g.add_task("a", 10.0); g.add_task("b", 5.0); g.add_edge("a", "b", 4.0)
+    >>> system = HeterogeneousSystem.from_exec_table(
+    ...     g, chain(2), {"a": (10.0, 20.0), "b": (5.0, 5.0)})
+    >>> sched = Schedule(system, algorithm="by-hand")
+    >>> _ = sched.place_task("a", 0, start=0.0)
+    >>> _ = sched.set_route(("a", "b"), [0, 1], hop_starts=[10.0])
+    >>> _ = sched.place_task("b", 1, start=14.0)
+    >>> sched.schedule_length()
+    19.0
+    >>> from repro.schedule.validator import validate_schedule
+    >>> validate_schedule(sched)
+    """
 
     def __init__(self, system: HeterogeneousSystem, algorithm: str = "unknown"):
         self.system = system
@@ -71,12 +97,14 @@ class Schedule:
     # queries
     # ------------------------------------------------------------------
     def proc_of(self, task: TaskId) -> Proc:
+        """Processor the task is placed on (raises if unscheduled)."""
         try:
             return self.slots[task].proc
         except KeyError:
             raise SchedulingError(f"task {task!r} is not scheduled") from None
 
     def is_scheduled(self, task: TaskId) -> bool:
+        """True when the task has a slot in this schedule."""
         return task in self.slots
 
     def schedule_length(self) -> float:

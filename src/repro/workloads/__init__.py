@@ -16,6 +16,12 @@ from repro.workloads.suites import (
     paper_sizes,
     paper_granularities,
 )
+from repro.workloads.external import (
+    EXTERNAL_SUITE,
+    app_token,
+    external_cell,
+    resolve_external,
+)
 
 __all__ = [
     "scale_exec_costs",
@@ -39,4 +45,8 @@ __all__ = [
     "random_graph",
     "paper_sizes",
     "paper_granularities",
+    "EXTERNAL_SUITE",
+    "app_token",
+    "external_cell",
+    "resolve_external",
 ]

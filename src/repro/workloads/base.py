@@ -19,7 +19,14 @@ from repro.util.rng import RngStream
 
 def scale_exec_costs(graph: TaskGraph, target_mean: float) -> TaskGraph:
     """Rescale all execution costs in place so their mean equals
-    ``target_mean`` (relative magnitudes preserved)."""
+    ``target_mean`` (relative magnitudes preserved).
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph(); g.add_task("a", 1.0); g.add_task("b", 3.0)
+    >>> _ = scale_exec_costs(g, 150.0)
+    >>> g.cost("a"), g.cost("b")
+    (75.0, 225.0)
+    """
     if target_mean <= 0:
         raise WorkloadError(f"target mean must be positive, got {target_mean}")
     mean = graph.mean_exec_cost()
@@ -42,6 +49,14 @@ def ensure_connected(
     ``layer_of`` must topologically stratify tasks (edges only go from a
     lower to a strictly higher layer), so any added bridge keeps the graph
     acyclic.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> from repro.util.rng import RngStream
+    >>> g = TaskGraph()
+    >>> for t in ("a", "b"): g.add_task(t, 1.0)
+    >>> g = ensure_connected(g, {"a": 0, "b": 1}, RngStream(0))
+    >>> g.n_edges
+    1
     """
     comps = _weak_components(graph)
     if len(comps) <= 1:

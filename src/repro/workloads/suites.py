@@ -75,12 +75,20 @@ def _forkjoin_size(depth, width):
 
 
 def paper_sizes() -> List[int]:
-    """Graph sizes used in the paper: 50..500 step 50."""
+    """Graph sizes used in the paper: 50..500 step 50.
+
+    >>> paper_sizes()[:3]
+    [50, 100, 150]
+    """
     return list(range(50, 501, 50))
 
 
 def paper_granularities() -> List[float]:
-    """Granularities used in the paper."""
+    """Granularities used in the paper.
+
+    >>> paper_granularities()
+    [0.1, 1.0, 10.0]
+    """
     return [0.1, 1.0, 10.0]
 
 
@@ -107,6 +115,10 @@ def regular_graph(
 
     Accepts the paper's four applications plus the extension workloads
     (``fft``, ``forkjoin``).
+
+    >>> g = regular_graph("gauss", 50, granularity=1.0, seed=0)
+    >>> g.name, g.n_tasks
+    ('gauss(n=54,g=1)', 54)
     """
     registry = {**REGULAR_APPS, **EXTENSION_APPS}
     try:
@@ -127,7 +139,12 @@ def random_graph(
     granularity: float = 1.0,
     seed: int = 0,
 ) -> TaskGraph:
-    """A random-suite graph: exec U[100, 200], comm set by granularity."""
+    """A random-suite graph: exec U[100, 200], comm set by granularity.
+
+    >>> g = random_graph(60, granularity=0.1, seed=4)
+    >>> g.n_tasks, g.name
+    (60, 'random(n=60,g=0.1,seed=4)')
+    """
     graph = random_layered_graph(n_tasks, seed=seed)
     apply_granularity(graph, granularity, seed=seed)
     graph.name = f"random(n={n_tasks},g={granularity:g},seed={seed})"

@@ -1,8 +1,13 @@
 """Tests for the command-line interface."""
 
+import os
+
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CORPUS = os.path.join(REPO_ROOT, "examples", "graphs")
 
 
 class TestParser:
@@ -57,3 +62,144 @@ class TestCommands:
         ])
         assert rc == 0
         assert "DLS" in capsys.readouterr().out
+
+    def test_schedule_etf(self, capsys):
+        # etf was missing from the schedule choices before PR 4
+        rc = main([
+            "schedule", "-a", "etf", "-w", "random", "-n", "20",
+            "-t", "ring", "-p", "4",
+        ])
+        assert rc == 0
+        assert "ETF" in capsys.readouterr().out
+
+
+class TestScheduleGraph:
+    def test_schedule_stg_file(self, capsys):
+        rc = main([
+            "schedule", "--graph", os.path.join(CORPUS, "forkjoin.stg"),
+            "-a", "bsa", "-t", "ring", "-p", "8",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "forkjoin(d=3,w=4,g=1)" in out
+        assert "SL" in out
+
+    def test_schedule_trace_pins_procs(self, capsys):
+        rc = main([
+            "schedule", "--graph", os.path.join(CORPUS, "ge_trace.json"),
+            "-a", "heft", "-t", "hypercube",
+        ])
+        assert rc == 0
+        assert "hypercube8" in capsys.readouterr().out
+
+    def test_schedule_trace_wrong_procs_fails(self, capsys):
+        rc = main([
+            "schedule", "--graph", os.path.join(CORPUS, "ge_trace.json"),
+            "-a", "heft", "-t", "hypercube", "-p", "16",
+        ])
+        assert rc == 2
+        assert "cannot apply" in capsys.readouterr().err
+
+    def test_schedule_missing_file_fails(self, capsys):
+        rc = main(["schedule", "--graph", "/nonexistent/g.stg"])
+        assert rc == 2
+
+    def test_schedule_disconnected_fails_with_hint(self, capsys, tmp_path):
+        # the schedulers themselves assume a connected DAG, so there is
+        # no --allow-disconnected on schedule; the error points at the
+        # convert escape hatch instead
+        f = tmp_path / "disc.dot"
+        f.write_text(
+            "digraph d { 0 [cost=1.0]; 1 [cost=1.0]; 2 [cost=1.0]; "
+            "3 [cost=1.0]; 0 -> 1 [comm=1.0]; 2 -> 3 [comm=1.0]; }"
+        )
+        rc = main(["schedule", "--graph", str(f), "-t", "ring", "-p", "4"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "connected DAG" in err
+        assert "repro convert --allow-disconnected" in err
+
+    def test_schedule_graph_explicit_zero_procs_errors(self, capsys):
+        # -p 0 must not silently fall back to the default 16
+        rc = main([
+            "schedule", "--graph", os.path.join(CORPUS, "forkjoin.stg"),
+            "-t", "ring", "-p", "0",
+        ])
+        assert rc == 2
+        assert ">= 3 processors" in capsys.readouterr().err
+
+    def test_schedule_graph_warns_about_generator_flags(self, capsys):
+        rc = main([
+            "schedule", "--graph", os.path.join(CORPUS, "forkjoin.stg"),
+            "-t", "ring", "-p", "8", "-n", "500", "-g", "10",
+        ])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "--size" in err and "--granularity" in err
+        assert "ignored" in err
+
+    def test_schedule_graph_all_algorithms(self, capsys):
+        for algorithm in ("bsa", "dls", "heft", "cpop", "etf"):
+            rc = main([
+                "schedule", "--graph",
+                os.path.join(CORPUS, "series_parallel.dot"),
+                "-a", algorithm, "-t", "ring", "-p", "4",
+            ])
+            assert rc == 0, algorithm
+
+
+class TestConvert:
+    def test_convert_chain_round_trips(self, capsys, tmp_path):
+        from repro.graph.interchange import graphs_equal, load_workload
+
+        src = os.path.join(CORPUS, "forkjoin.stg")
+        steps = [
+            (src, str(tmp_path / "a.trace.json")),
+            (str(tmp_path / "a.trace.json"), str(tmp_path / "b.dot")),
+            (str(tmp_path / "b.dot"), str(tmp_path / "c.stg")),
+        ]
+        for a, b in steps:
+            assert main(["convert", a, b]) == 0
+        out = capsys.readouterr().out
+        assert "19 tasks, 27 edges" in out
+        assert graphs_equal(
+            load_workload(src).graph,
+            load_workload(str(tmp_path / "c.stg")).graph,
+            check_name=True,
+        )
+
+    def test_convert_reports_vector_loss(self, capsys, tmp_path):
+        rc = main([
+            "convert", os.path.join(CORPUS, "ge_trace.json"),
+            str(tmp_path / "ge.stg"),
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "8-processor cost vectors" in captured.out
+        assert "cannot carry" in captured.err
+
+    def test_convert_rejects_cycle(self, capsys, tmp_path):
+        bad = tmp_path / "cycle.dot"
+        bad.write_text(
+            "digraph c { 0 [cost=1.0]; 1 [cost=1.0]; "
+            "0 -> 1 [comm=1.0]; 1 -> 0 [comm=1.0]; }"
+        )
+        assert main(["convert", str(bad), str(tmp_path / "o.stg")]) == 2
+        assert "convert failed" in capsys.readouterr().err
+
+    def test_convert_missing_input(self, capsys, tmp_path):
+        assert main(["convert", "/no/such.stg", str(tmp_path / "o.dot")]) == 2
+
+    def test_convert_default_cost_for_foreign_dot(self, capsys, tmp_path):
+        foreign = tmp_path / "plain.dot"
+        foreign.write_text("digraph g { a -> b; b -> c; }")
+        rc = main([
+            "convert", str(foreign), str(tmp_path / "out.trace.json"),
+            "--default-cost", "5", "--default-comm", "2",
+        ])
+        assert rc == 0
+        from repro.graph.interchange import load_workload
+
+        g = load_workload(str(tmp_path / "out.trace.json")).graph
+        assert g.cost("a") == 5.0
+        assert g.comm_cost("b", "c") == 2.0

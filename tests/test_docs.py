@@ -1,0 +1,131 @@
+"""Documentation-sync tests: the docs must match the live registries.
+
+PR 4's documentation sweep fixed README flag lists that had drifted
+from the CLI (``--algorithm`` omitted ``etf``). These tests make that
+class of rot impossible: README flag lists, the CLI parser choices, and
+the library registries must all agree, ARCHITECTURE.md must exist and
+cover every layer, and the bundled corpus EXPERIMENTS.md §7 describes
+must actually ship.
+"""
+
+import os
+import re
+
+from repro.cli import build_parser
+from repro.experiments.config import ALGORITHM_NAMES, TOPOLOGY_NAMES
+from repro.experiments.runner import _SCHEDULERS, build_topology
+from repro.graph.interchange import format_names
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def _read(name):
+    with open(os.path.join(REPO_ROOT, name)) as fh:
+        return fh.read()
+
+
+def _subparsers(parser):
+    for action in parser._actions:
+        if hasattr(action, "choices") and isinstance(action.choices, dict):
+            return action.choices
+    raise AssertionError("no subparsers found")
+
+
+def _flag_choices(subparser, flag):
+    for action in subparser._actions:
+        if flag in action.option_strings:
+            return list(action.choices)
+    raise AssertionError(f"flag {flag} not found")
+
+
+def _readme_flag_list(readme, flag):
+    m = re.search(re.escape(flag) + r" \{([a-z0-9_,]+)\}", readme)
+    assert m, f"README does not document {flag} {{...}} choices"
+    return m.group(1).split(",")
+
+
+class TestRegistriesAgree:
+    def test_algorithm_names_match_scheduler_registry(self):
+        plain = [name for name in _SCHEDULERS if "-" not in name]
+        assert plain == list(ALGORITHM_NAMES)
+
+    def test_topology_names_all_buildable(self):
+        for name in TOPOLOGY_NAMES:
+            topology = build_topology(name, 16, seed=0)
+            assert topology.n_procs == 16
+
+    def test_cli_choices_come_from_registries(self):
+        sub = _subparsers(build_parser())
+        assert _flag_choices(sub["schedule"], "--algorithm") == list(ALGORITHM_NAMES)
+        assert _flag_choices(sub["schedule"], "--topology") == list(TOPOLOGY_NAMES)
+        assert _flag_choices(sub["schedule"], "--format") == list(format_names())
+        assert _flag_choices(sub["ablation"], "--topology") == list(TOPOLOGY_NAMES)
+        assert _flag_choices(sub["convert"], "--from") == list(format_names())
+        assert _flag_choices(sub["convert"], "--to") == list(format_names())
+
+
+class TestReadme:
+    def test_readme_flag_lists_match_cli(self):
+        readme = _read("README.md")
+        assert _readme_flag_list(readme, "--algorithm") == list(ALGORITHM_NAMES)
+        assert _readme_flag_list(readme, "--topology") == list(TOPOLOGY_NAMES)
+        assert _readme_flag_list(readme, "--format") == list(format_names())
+        assert _readme_flag_list(readme, "--duplex") == ["half", "full"]
+
+    def test_readme_documents_every_subcommand(self):
+        readme = _read("README.md")
+        for command in _subparsers(build_parser()):
+            assert f"`repro {command}" in readme, (
+                f"README does not document the `repro {command}` subcommand"
+            )
+
+    def test_readme_links_architecture_and_experiments(self):
+        readme = _read("README.md")
+        assert "ARCHITECTURE.md" in readme
+        assert "EXPERIMENTS.md" in readme
+
+
+class TestArchitecture:
+    def test_architecture_exists_and_covers_every_layer(self):
+        text = _read("ARCHITECTURE.md")
+        src = os.path.join(REPO_ROOT, "src", "repro")
+        packages = sorted(
+            name for name in os.listdir(src)
+            if os.path.isdir(os.path.join(src, name)) and name != "__pycache__"
+        )
+        assert packages, "no packages under src/repro?"
+        for package in packages:
+            assert f"{package}/" in text, (
+                f"ARCHITECTURE.md module map does not mention {package}/"
+            )
+
+    def test_architecture_documents_engine_modes(self):
+        text = _read("ARCHITECTURE.md")
+        for mode in ("incremental", "fast", "legacy"):
+            assert f"`{mode}`" in text
+        assert "REPRO_HOTPATH" in text
+        assert "byte identity" in text.lower().replace("-", " ")
+
+    def test_architecture_documents_interchange_and_substrate(self):
+        text = _read("ARCHITECTURE.md")
+        for needle in ("interchange", "LinkSpec", "channel", "sniff"):
+            assert needle in text, f"ARCHITECTURE.md lacks {needle!r}"
+
+
+class TestExperimentsSection7:
+    def test_section_exists_with_commands(self):
+        text = _read("EXPERIMENTS.md")
+        assert "## 7. External workloads" in text
+        assert "examples/external_workloads.py" in text
+        assert "repro schedule --graph" in text
+
+    def test_documented_corpus_files_ship(self):
+        text = _read("EXPERIMENTS.md")
+        section = text.split("## 7.")[1]
+        for name in re.findall(r"`([\w./]+\.(?:stg|dot|json))`", section):
+            base = os.path.basename(name)
+            if base.startswith("forkjoin.trace"):
+                continue  # /tmp output of a documented command
+            assert os.path.exists(
+                os.path.join(REPO_ROOT, "examples", "graphs", base)
+            ), f"EXPERIMENTS §7 mentions {base} but it is not bundled"
