@@ -37,7 +37,17 @@ def downward_ranks(system: HeterogeneousSystem) -> Dict[TaskId, float]:
 
 
 def schedule_cpop(system: HeterogeneousSystem) -> Schedule:
-    """Run contention-aware CPOP and return a complete schedule."""
+    """Run contention-aware CPOP and return a complete schedule.
+
+    >>> from repro.network.system import HeterogeneousSystem
+    >>> from repro.network.topology import ring
+    >>> from repro.workloads.suites import random_graph
+    >>> system = HeterogeneousSystem.sample(
+    ...     random_graph(12, seed=3), ring(4), seed=0)
+    >>> schedule = schedule_cpop(system)
+    >>> schedule.algorithm, len(schedule.slots)
+    ('CPOP', 12)
+    """
     validate_graph(system.graph)
     graph = system.graph
     ru = upward_ranks(system)

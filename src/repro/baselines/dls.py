@@ -65,7 +65,17 @@ def schedule_dls(
     system: HeterogeneousSystem,
     options: Optional[DLSOptions] = None,
 ) -> Schedule:
-    """Run DLS and return a complete schedule."""
+    """Run DLS and return a complete schedule.
+
+    >>> from repro.network.system import HeterogeneousSystem
+    >>> from repro.network.topology import ring
+    >>> from repro.workloads.suites import random_graph
+    >>> system = HeterogeneousSystem.sample(
+    ...     random_graph(12, seed=3), ring(4), seed=0)
+    >>> schedule = schedule_dls(system)
+    >>> schedule.algorithm, len(schedule.slots)
+    ('DLS', 12)
+    """
     options = options or DLSOptions()
     validate_graph(system.graph)
     graph = system.graph

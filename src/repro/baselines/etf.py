@@ -27,7 +27,17 @@ from repro.schedule.schedule import Schedule
 
 
 def schedule_etf(system: HeterogeneousSystem) -> Schedule:
-    """Run contention-aware ETF and return a complete schedule."""
+    """Run contention-aware ETF and return a complete schedule.
+
+    >>> from repro.network.system import HeterogeneousSystem
+    >>> from repro.network.topology import ring
+    >>> from repro.workloads.suites import random_graph
+    >>> system = HeterogeneousSystem.sample(
+    ...     random_graph(12, seed=3), ring(4), seed=0)
+    >>> schedule = schedule_etf(system)
+    >>> schedule.algorithm, len(schedule.slots)
+    ('ETF', 12)
+    """
     validate_graph(system.graph)
     graph = system.graph
     builder = ListScheduleBuilder(

@@ -36,7 +36,17 @@ def upward_ranks(system: HeterogeneousSystem) -> Dict[TaskId, float]:
 
 
 def schedule_heft(system: HeterogeneousSystem) -> Schedule:
-    """Run contention-aware HEFT and return a complete schedule."""
+    """Run contention-aware HEFT and return a complete schedule.
+
+    >>> from repro.network.system import HeterogeneousSystem
+    >>> from repro.network.topology import ring
+    >>> from repro.workloads.suites import random_graph
+    >>> system = HeterogeneousSystem.sample(
+    ...     random_graph(12, seed=3), ring(4), seed=0)
+    >>> schedule = schedule_heft(system)
+    >>> schedule.algorithm, len(schedule.slots)
+    ('HEFT', 12)
+    """
     validate_graph(system.graph)
     graph = system.graph
     builder = ListScheduleBuilder(

@@ -9,7 +9,11 @@ Commands
   engine (``--jobs N``) with progress and a summary report;
 * ``experiment`` — regenerate a figure (fig3..fig7, runtime);
 * ``convert``    — translate a task-graph file between the interchange
-  formats (stg / dot / trace / json);
+  formats (stg / dot / trace / json / dax / wfcommons), or normalize a
+  topology file (``--topology``);
+* ``corpus``     — scan / list / benchmark a whole directory of graph
+  files (``scan``, ``ls``, ``bench``, ``report``) with cache-key-visible
+  overlays (CCR / granularity / heterogeneity);
 * ``ablation``   — compare BSA option variants on one workload;
 * ``report``     — regenerate the full reproduction report;
 * ``info``       — library / scale / cache information.
@@ -41,9 +45,32 @@ def _cmd_schedule(args) -> int:
     from repro.schedule.metrics import compute_metrics
     from repro.schedule.validator import validate_schedule
 
+    from repro.network.topology import apply_link_model
+
+    file_topology = None
+    if args.topology_file:
+        from repro.network.topology import load_topology
+
+        try:
+            file_topology = load_topology(args.topology_file)
+        except (ReproError, OSError) as exc:
+            print(f"cannot load topology {args.topology_file}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if args.procs is not None and args.procs != file_topology.n_procs:
+            print(f"{args.topology_file} has {file_topology.n_procs} "
+                  f"processors; --procs {args.procs} cannot apply",
+                  file=sys.stderr)
+            return 2
+        # with the default flags this is a no-op that keeps the file's
+        # own link specs; explicit --duplex/--bandwidth-skew overlay them
+        file_topology = apply_link_model(
+            file_topology, duplex=args.duplex,
+            bandwidth_skew=args.bandwidth_skew, seed=args.seed,
+        )
+
     if args.graph:
         from repro.graph.interchange import load_workload
-        from repro.network.topology import apply_link_model
 
         ignored = [
             flag for flag, default in
@@ -56,19 +83,21 @@ def _cmd_schedule(args) -> int:
                   f"verbatim", file=sys.stderr)
         try:
             # strict validation is not optional here: every scheduler
-            # re-checks the connected-DAG assumption itself, so there is
-            # no lenient path to offer (unlike `repro convert`)
+            # re-checks the connected-DAG assumption itself; what IS
+            # offered is the epsilon repair policy (--bridge epsilon)
             try:
-                workload = load_workload(args.graph, fmt=args.format)
+                workload = load_workload(
+                    args.graph, fmt=args.format, bridge=args.bridge
+                )
             except ReproError as exc:
                 from repro.errors import DisconnectedGraphError
 
                 if isinstance(exc, DisconnectedGraphError):
                     raise ReproError(
                         f"{exc} — the schedulers assume a connected DAG "
-                        f"(paper §2.1); use `repro convert "
-                        f"--allow-disconnected` to inspect or repair the "
-                        f"file"
+                        f"(paper §2.1); pass `--bridge epsilon` to insert "
+                        f"minimal-cost connector edges, or use `repro "
+                        f"convert --allow-disconnected` to inspect the file"
                     ) from None
                 raise
             if (workload.n_procs is not None and args.procs is not None
@@ -77,20 +106,34 @@ def _cmd_schedule(args) -> int:
                     f"{args.graph} carries {workload.n_procs}-processor "
                     f"cost vectors; --procs {args.procs} cannot apply"
                 )
-            n_procs = (
-                workload.n_procs if workload.n_procs is not None
-                else args.procs if args.procs is not None
-                else 16
-            )
-            topology = build_topology(args.topology, n_procs, seed=args.seed)
-            topology = apply_link_model(
-                topology, duplex=args.duplex,
-                bandwidth_skew=args.bandwidth_skew, seed=args.seed,
-            )
+            if file_topology is not None:
+                topology = file_topology
+            else:
+                n_procs = (
+                    workload.n_procs if workload.n_procs is not None
+                    else args.procs if args.procs is not None
+                    else 16
+                )
+                topology = build_topology(args.topology, n_procs, seed=args.seed)
+                topology = apply_link_model(
+                    topology, duplex=args.duplex,
+                    bandwidth_skew=args.bandwidth_skew, seed=args.seed,
+                )
             system = workload.bind(topology, seed=args.seed)
         except (ReproError, OSError) as exc:
             print(f"cannot schedule {args.graph}: {exc}", file=sys.stderr)
             return 2
+    elif file_topology is not None:
+        from repro.network.system import HeterogeneousSystem
+        from repro.workloads.suites import random_graph, regular_graph
+
+        if args.workload == "random":
+            graph = random_graph(args.size, args.granularity, seed=args.seed)
+        else:
+            graph = regular_graph(
+                args.workload, args.size, args.granularity, seed=args.seed
+            )
+        system = HeterogeneousSystem.sample(graph, file_topology, seed=args.seed)
     else:
         suite = "regular" if args.workload != "random" else "random"
         cell = Cell(
@@ -240,6 +283,19 @@ def _cmd_convert(args) -> int:
     from repro.errors import ReproError
     from repro.graph.interchange import convert_file
 
+    if args.topology:
+        from repro.network.topology import load_topology, save_topology
+
+        try:
+            topology = load_topology(args.src)
+            save_topology(topology, args.dst)
+        except (ReproError, OSError) as exc:
+            print(f"convert failed: {exc}", file=sys.stderr)
+            return 2
+        print(f"{args.src} -> {args.dst}: topology {topology.name} — "
+              f"{topology.n_procs} processors, {topology.n_links} links")
+        return 0
+
     kwargs = {}
     if args.default_comm is not None:
         kwargs["default_comm"] = args.default_comm
@@ -251,6 +307,7 @@ def _cmd_convert(args) -> int:
             from_fmt=args.from_fmt, to_fmt=args.to_fmt,
             validate=not args.no_validate,
             require_connected=not args.allow_disconnected,
+            bridge=args.bridge,
             **kwargs,
         )
     except (ReproError, OSError) as exc:
@@ -267,6 +324,102 @@ def _cmd_convert(args) -> int:
     print(f"{args.src} ({in_fmt}) -> {args.dst} ({out_fmt}): "
           f"{g.name} — {g.n_tasks} tasks, {g.n_edges} edges{vectors}")
     return 0
+
+
+def _corpus_overlays(args):
+    from repro.corpus.overlays import overlay_grid
+
+    return overlay_grid(
+        ccrs=args.ccr or (),
+        granularities=args.granularity or (),
+        het_ranges=[tuple(h) for h in (args.het or [])],
+        het_seed=args.het_seed,
+    )
+
+
+def _cmd_corpus_scan(args) -> int:
+    from repro.corpus.manifest import scan_corpus
+    from repro.errors import ReproError
+
+    try:
+        manifest = scan_corpus(args.dir)
+    except (ReproError, OSError) as exc:
+        print(f"corpus scan failed: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        manifest.save(args.out)
+        print(f"manifest of {len(manifest)} file(s) written to {args.out}")
+    else:
+        print(manifest.to_json())
+    return 0
+
+
+def _cmd_corpus_ls(args) -> int:
+    from repro.corpus.manifest import scan_corpus
+    from repro.errors import ReproError
+    from repro.util.tables import format_table
+
+    try:
+        manifest = scan_corpus(args.dir)
+    except (ReproError, OSError) as exc:
+        print(f"corpus scan failed: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        [
+            e.path, e.fmt, e.n_tasks, e.n_edges, e.components,
+            e.ccr, e.n_procs if e.n_procs is not None else "-",
+            e.content_hash[:12],
+        ]
+        for e in manifest.entries
+    ]
+    print(format_table(
+        ["file", "format", "tasks", "edges", "components", "ccr", "procs",
+         "content"],
+        rows,
+        title=f"corpus {manifest.directory} — {len(manifest)} graph file(s)",
+        ndigits=3,
+    ))
+    return 0
+
+
+def _run_corpus_bench(args, telemetry: bool) -> int:
+    from repro.corpus.bench import corpus_bench
+    from repro.errors import ReproError
+
+    say = (lambda msg: print(f"  {msg}", file=sys.stderr)) if telemetry else None
+    try:
+        report_text, sweep = corpus_bench(
+            args.dir,
+            overlays=_corpus_overlays(args),
+            topologies=tuple(args.topologies),
+            algorithms=tuple(args.algorithms),
+            n_procs=args.procs,
+            system_seed=args.seed,
+            jobs=args.jobs,
+            use_cache=not getattr(args, "no_cache", False),
+            progress=say,
+        )
+    except (ReproError, OSError) as exc:
+        print(f"corpus bench failed: {exc}", file=sys.stderr)
+        return 2
+    if telemetry:
+        # execution telemetry (timings, cache hits) goes to stderr: the
+        # stdout/--out report is the deterministic artifact
+        print(sweep.summary(), file=sys.stderr)
+    print(report_text)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(report_text + "\n")
+        print(f"report written to {args.out}", file=sys.stderr)
+    return 1 if sweep.failures else 0
+
+
+def _cmd_corpus_bench(args) -> int:
+    return _run_corpus_bench(args, telemetry=True)
+
+
+def _cmd_corpus_report(args) -> int:
+    return _run_corpus_bench(args, telemetry=False)
 
 
 def _cmd_report(args) -> int:
@@ -332,10 +485,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "heterogeneity and pin the processor count")
     p.add_argument("--format", default=None, choices=list(format_names()),
                    help="interchange format of --graph (default: sniff)")
+    p.add_argument("--bridge", default="none", choices=["none", "epsilon"],
+                   help="repair a disconnected --graph import by inserting "
+                        "minimal-cost connector edges (default: reject it)")
     p.add_argument("--size", "-n", type=int, default=100)
     p.add_argument("--granularity", "-g", type=float, default=1.0)
     p.add_argument("--topology", "-t", default="hypercube",
                    choices=list(TOPOLOGY_NAMES))
+    p.add_argument("--topology-file", metavar="FILE", default=None,
+                   help="schedule on the platform in this repro-topology "
+                        "JSON file (see `repro convert --topology`) instead "
+                        "of a built-in --topology family; the file pins the "
+                        "processor count and link specs")
     p.add_argument("--procs", "-p", type=int, default=None,
                    help="processor count (default: 16, or the vector "
                         "length of a --graph trace file)")
@@ -394,7 +555,90 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the structural (DAG/connectivity) check")
     p.add_argument("--allow-disconnected", action="store_true",
                    help="accept graphs that are not weakly connected")
+    p.add_argument("--bridge", default="none", choices=["none", "epsilon"],
+                   help="repair a disconnected import by inserting "
+                        "minimal-cost connector edges before validation")
+    p.add_argument("--topology", action="store_true",
+                   help="treat SRC/DST as repro-topology JSON platform "
+                        "files (validate + normalize) instead of task graphs")
     p.set_defaults(func=_cmd_convert)
+
+    p = sub.add_parser(
+        "corpus",
+        help="scan and benchmark a directory of graph files",
+    )
+    corpus_sub = p.add_subparsers(dest="corpus_command", required=True)
+
+    def _add_corpus_dir(sp):
+        sp.add_argument("dir", nargs="?", default=None,
+                        help="corpus directory (default: examples/corpus)")
+
+    ps = corpus_sub.add_parser(
+        "scan", help="scan a corpus into a content-hashed JSON manifest"
+    )
+    _add_corpus_dir(ps)
+    ps.add_argument("--out", "-o", default=None,
+                    help="write the manifest JSON to this file")
+    ps.set_defaults(func=_cmd_corpus_scan)
+
+    ps = corpus_sub.add_parser(
+        "ls", help="list a corpus (format, sizes, CCR, components, hash)"
+    )
+    _add_corpus_dir(ps)
+    ps.set_defaults(func=_cmd_corpus_ls)
+
+    def _add_corpus_sweep_flags(sp):
+        _add_corpus_dir(sp)
+        sp.add_argument("--topologies", "-t", nargs="+",
+                        default=["ring", "hypercube"],
+                        choices=list(TOPOLOGY_NAMES),
+                        help="topology families to sweep (default: ring "
+                             "hypercube)")
+        sp.add_argument("--algorithms", "-a", nargs="+",
+                        default=list(ALGORITHM_NAMES),
+                        choices=list(ALGORITHM_NAMES),
+                        help="schedulers to compare (default: all)")
+        sp.add_argument("--procs", "-p", type=int, default=8,
+                        help="processor count for scalar files (trace-like "
+                             "files pin their own; default: 8)")
+        sp.add_argument("--seed", type=int, default=0,
+                        help="system seed for sampled heterogeneity")
+        sp.add_argument("--jobs", "-j", type=int, default=1,
+                        help="worker processes (default: 1, serial)")
+        sp.add_argument("--ccr", type=float, nargs="*", default=None,
+                        help="overlay axis: rescale each file's comm costs "
+                             "to these CCR targets")
+        sp.add_argument("--granularity", "-g", type=float, nargs="*",
+                        default=None,
+                        help="overlay axis: multiply comm costs by these "
+                             "factors")
+        sp.add_argument("--het", type=float, nargs=2, action="append",
+                        metavar=("LO", "HI"), default=None,
+                        help="overlay axis: re-sample exec vectors from "
+                             "U[LO, HI] (vector files; scalar files route "
+                             "through the cell het axes); repeatable")
+        sp.add_argument("--het-seed", type=int, default=0,
+                        help="seed of the heterogeneity overlay re-sample")
+        sp.add_argument("--out", "-o", default=None,
+                        help="also write the aggregate report to this file")
+
+    ps = corpus_sub.add_parser(
+        "bench",
+        help="run the corpus sweep (with progress/telemetry on stderr) "
+             "and print the deterministic aggregate ordering report",
+    )
+    _add_corpus_sweep_flags(ps)
+    ps.add_argument("--no-cache", action="store_true",
+                    help="recompute every cell, ignore and skip the cache")
+    ps.set_defaults(func=_cmd_corpus_bench)
+
+    ps = corpus_sub.add_parser(
+        "report",
+        help="render the aggregate ordering report (serving cached cells, "
+             "computing only what is missing; no telemetry)",
+    )
+    _add_corpus_sweep_flags(ps)
+    ps.set_defaults(func=_cmd_corpus_report)
 
     p = sub.add_parser("ablation", help="compare BSA option variants on one workload")
     p.add_argument("--size", "-n", type=int, default=60)

@@ -390,5 +390,18 @@ def schedule_bsa(
     system: HeterogeneousSystem,
     options: Optional[BSAOptions] = None,
 ) -> Schedule:
-    """Convenience wrapper: run BSA and return the schedule."""
+    """Convenience wrapper: run BSA and return the schedule.
+
+    The schedule is complete (every task placed, every message routed)
+    and identical across the three ``REPRO_HOTPATH`` engine modes.
+
+    >>> from repro.network.system import HeterogeneousSystem
+    >>> from repro.network.topology import ring
+    >>> from repro.workloads.suites import random_graph
+    >>> system = HeterogeneousSystem.sample(
+    ...     random_graph(12, seed=3), ring(4), seed=0)
+    >>> schedule = schedule_bsa(system)
+    >>> schedule.algorithm, len(schedule.slots)
+    ('BSA', 12)
+    """
     return BSAScheduler(system, options).run()

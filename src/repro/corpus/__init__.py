@@ -1,0 +1,47 @@
+"""Corpus subsystem: directories of real workload files as sweepable
+experiment inputs.
+
+Three layers (see ARCHITECTURE.md for the data flow):
+
+* :mod:`repro.corpus.overlays` — explicit, cache-key-visible transforms
+  (bridge / CCR / granularity / heterogeneity) of imported graphs;
+* :mod:`repro.corpus.manifest` — scan a directory into a content-hashed
+  :class:`~repro.corpus.manifest.Manifest` and expand
+  manifest x overlay-grid x topology x scheduler into experiment cells;
+* :mod:`repro.corpus.bench` — run the cells through the parallel
+  ``run_cells`` engine and render the deterministic aggregate
+  scheduler-ordering report behind ``repro corpus bench``.
+
+Only the overlay layer is imported eagerly: :mod:`repro.workloads.
+external` resolves overlay tokens at cell-build time, so the manifest
+and bench layers (which sit *above* the workload provider) load lazily
+to keep the import graph acyclic.
+"""
+
+from repro.corpus.overlays import (  # noqa: F401
+    Overlay,
+    apply_overlay,
+    overlay_grid,
+    parse_overlay,
+)
+
+__all__ = [
+    "Overlay",
+    "apply_overlay",
+    "overlay_grid",
+    "parse_overlay",
+    "manifest",
+    "bench",
+    "overlays",
+]
+
+
+def __getattr__(name):
+    # manifest/bench import the experiment layers, which import
+    # workloads.external, which imports corpus.overlays — importing them
+    # here eagerly would close that cycle, so they resolve on demand
+    if name in ("manifest", "bench"):
+        import importlib
+
+        return importlib.import_module(f"repro.corpus.{name}")
+    raise AttributeError(f"module 'repro.corpus' has no attribute {name!r}")

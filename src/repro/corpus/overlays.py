@@ -1,0 +1,279 @@
+"""Cache-key-visible parameter overlays for imported task graphs.
+
+External cells take a file's structure and costs verbatim; the
+generated suites, by contrast, can be swept over granularity and
+heterogeneity axes. An :class:`Overlay` closes that gap: it is an
+explicit, deterministic transform applied to an imported workload
+*after* reading and *before* binding —
+
+* **bridge** — repair a disconnected import with epsilon-cost
+  connector edges (:func:`repro.graph.interchange.bridge_components`);
+* **ccr** — rescale every communication cost by one factor so the
+  graph's communication-to-computation ratio (total comm / total exec)
+  hits a target, making CCR a sweepable axis for files whose native
+  units (e.g. bytes vs seconds) put it anywhere;
+* **granularity** — multiply every communication cost by a factor, the
+  external analogue of the generated suites' granularity axis;
+* **het_range / het_seed** — re-sample the per-processor execution-cost
+  vectors of a trace-like workload from ``U[lo, hi]`` (fastest
+  processor normalized to ``lo``, exactly like
+  :meth:`HeterogeneousSystem.sample`), replacing the file's platform
+  binding with a synthetic one. Scalar workloads already sample
+  heterogeneity at bind time from the cell's ``het_lo``/``het_hi``
+  axes, so the overlay rejects them rather than duplicating that path.
+
+Every overlay renders to a canonical token (:meth:`Overlay.token`,
+inverted by :func:`parse_overlay`) that
+:func:`repro.workloads.external.app_token` appends to the cell's app
+token — so overlays land in ``Cell.key()`` and therefore in
+:class:`~repro.experiments.cache.ResultCache` keys: two cells that
+differ in any overlay parameter can never alias one cache entry.
+
+Examples
+--------
+>>> ovl = Overlay(ccr=0.5, granularity=2.0)
+>>> ovl.token()
+'ccr0.5,gran2.0'
+>>> parse_overlay('ccr0.5,gran2.0') == ovl
+True
+>>> Overlay().token()
+''
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, GraphError
+from repro.graph.interchange import BRIDGE_POLICIES, ExternalWorkload
+from repro.util.rng import RngStream
+
+__all__ = [
+    "Overlay",
+    "parse_overlay",
+    "apply_overlay",
+    "overlay_grid",
+]
+
+_HET_RE = re.compile(r"het([^:@,]+):([^:@,]+)@(\d+)\Z")
+
+
+def _fnum(x: float) -> str:
+    """Exact, shortest-repr text for a float — tokens must distinguish
+    any two different parameter values, so lossy %g is not an option."""
+    return repr(float(x))
+
+
+@dataclass(frozen=True)
+class Overlay:
+    """One explicit transform of an imported workload (see module doc).
+
+    The defaults are the identity: no bridging, no comm rescaling, no
+    heterogeneity re-sampling — ``token()`` is then empty and
+    :func:`apply_overlay` returns the workload object unchanged.
+    """
+
+    #: import repair policy ("none" | "epsilon"), applied at load time
+    bridge: str = "none"
+    #: target communication-to-computation ratio (None = keep the file's)
+    ccr: Optional[float] = None
+    #: multiplier on every communication cost
+    granularity: float = 1.0
+    #: re-sample exec vectors from U[lo, hi] (trace-like workloads only)
+    het_range: Optional[Tuple[float, float]] = None
+    #: seed of the heterogeneity re-sample
+    het_seed: int = 0
+
+    def __post_init__(self):
+        if self.bridge not in BRIDGE_POLICIES:
+            raise ConfigurationError(
+                f"overlay bridge must be one of {list(BRIDGE_POLICIES)}, "
+                f"got {self.bridge!r}"
+            )
+        if self.ccr is not None and not self.ccr > 0:
+            raise ConfigurationError(
+                f"overlay ccr must be positive, got {self.ccr}"
+            )
+        if not self.granularity > 0:
+            raise ConfigurationError(
+                f"overlay granularity must be positive, got {self.granularity}"
+            )
+        if self.het_range is not None:
+            lo, hi = self.het_range
+            if not (0 < lo <= hi):
+                raise ConfigurationError(
+                    f"bad overlay heterogeneity range [{lo}, {hi}]"
+                )
+            object.__setattr__(self, "het_range", (float(lo), float(hi)))
+        if self.het_seed < 0:
+            raise ConfigurationError(
+                f"overlay het_seed must be >= 0, got {self.het_seed}"
+            )
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the overlay changes nothing at all.
+
+        >>> Overlay().is_identity, Overlay(bridge="epsilon").is_identity
+        (True, False)
+        """
+        return self.bridge == "none" and not self.transforms
+
+    @property
+    def transforms(self) -> bool:
+        """True when :func:`apply_overlay` would alter the workload
+        (bridging happens at load time and does not count)."""
+        return (
+            self.ccr is not None
+            or self.granularity != 1.0
+            or self.het_range is not None
+        )
+
+    def token(self) -> str:
+        """Canonical cache-key fragment; empty for the identity overlay.
+        Floats render at full repr precision, so any two different
+        overlays produce different tokens (and so different cache keys).
+
+        >>> Overlay(bridge="epsilon", het_range=(1, 10), het_seed=3).token()
+        'bridge,het1.0:10.0@3'
+        """
+        parts: List[str] = []
+        if self.bridge == "epsilon":
+            parts.append("bridge")
+        if self.ccr is not None:
+            parts.append(f"ccr{_fnum(self.ccr)}")
+        if self.granularity != 1.0:
+            parts.append(f"gran{_fnum(self.granularity)}")
+        if self.het_range is not None:
+            lo, hi = self.het_range
+            parts.append(f"het{_fnum(lo)}:{_fnum(hi)}@{self.het_seed}")
+        return ",".join(parts)
+
+
+def parse_overlay(text: str) -> Overlay:
+    """Invert :meth:`Overlay.token` (any float spelling is accepted;
+    the canonical one is full repr).
+
+    >>> parse_overlay("bridge,ccr10") == Overlay(bridge="epsilon", ccr=10.0)
+    True
+    >>> parse_overlay("")
+    Overlay(bridge='none', ccr=None, granularity=1.0, het_range=None, het_seed=0)
+    """
+    bridge = "none"
+    ccr: Optional[float] = None
+    granularity = 1.0
+    het_range: Optional[Tuple[float, float]] = None
+    het_seed = 0
+    if not text:
+        return Overlay()
+
+    def _float(raw: str, part: str) -> float:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ConfigurationError(
+                f"malformed overlay token part {part!r}"
+            ) from None
+
+    for part in text.split(","):
+        if part == "bridge":
+            bridge = "epsilon"
+        elif part.startswith("ccr"):
+            ccr = _float(part[3:], part)
+        elif part.startswith("gran"):
+            granularity = _float(part[4:], part)
+        elif part.startswith("het"):
+            m = _HET_RE.match(part)
+            if not m:
+                raise ConfigurationError(f"malformed overlay token part {part!r}")
+            het_range = (_float(m.group(1), part), _float(m.group(2), part))
+            het_seed = int(m.group(3))
+        else:
+            raise ConfigurationError(f"unknown overlay token part {part!r}")
+    return Overlay(
+        bridge=bridge, ccr=ccr, granularity=granularity,
+        het_range=het_range, het_seed=het_seed,
+    )
+
+
+def apply_overlay(workload: ExternalWorkload, overlay: Overlay) -> ExternalWorkload:
+    """Apply ``overlay``'s transforms to an imported workload.
+
+    Returns a new :class:`ExternalWorkload` (or ``workload`` itself for
+    a no-op overlay). Bridging is *not* applied here — it is a load
+    policy (``load_workload(bridge=...)``), because a disconnected
+    graph must be repaired before validation, not after.
+
+    Transform order: ``ccr`` rescales all communication costs to the
+    target ratio, ``granularity`` multiplies them, ``het_range``
+    re-samples the exec-cost vectors against the (by then final)
+    nominal graph costs.
+    """
+    if not overlay.transforms:
+        return workload
+    graph = workload.graph.copy()
+    if overlay.ccr is not None:
+        total_comm = graph.total_comm_cost()
+        if total_comm <= 0:
+            raise GraphError(
+                f"cannot rescale {graph.name!r} to CCR {overlay.ccr:g}: the "
+                f"graph has no communication cost to scale"
+            )
+        factor = overlay.ccr * graph.total_exec_cost() / total_comm
+        for u, v in graph.edges():
+            graph.set_edge_cost(u, v, graph.comm_cost(u, v) * factor)
+    if overlay.granularity != 1.0:
+        for u, v in graph.edges():
+            graph.set_edge_cost(u, v, graph.comm_cost(u, v) * overlay.granularity)
+    exec_costs = workload.exec_costs
+    if overlay.het_range is not None:
+        if exec_costs is None:
+            raise GraphError(
+                f"overlay heterogeneity re-sampling needs per-processor "
+                f"cost vectors, but {graph.name!r} carries scalar costs — "
+                f"sweep scalar workloads through the cell's het_lo/het_hi "
+                f"axes instead"
+            )
+        lo, hi = overlay.het_range
+        n_procs = len(next(iter(exec_costs.values())))
+        rng = RngStream(overlay.het_seed).fork("overlay-het")
+        resampled = {}
+        for t in graph.tasks():
+            factors = [rng.uniform(lo, hi) for _ in range(n_procs)]
+            fastest = min(range(n_procs), key=lambda p: factors[p])
+            factors[fastest] = lo
+            resampled[t] = tuple(f * graph.cost(t) for f in factors)
+        exec_costs = resampled
+    return dataclasses.replace(workload, graph=graph, exec_costs=exec_costs)
+
+
+def overlay_grid(
+    ccrs: Iterable[float] = (),
+    granularities: Iterable[float] = (),
+    het_ranges: Iterable[Tuple[float, float]] = (),
+    het_seed: int = 0,
+    bridge: str = "none",
+) -> List[Overlay]:
+    """Cartesian product of overlay axes; an empty axis contributes its
+    identity value, so ``overlay_grid()`` is ``[Overlay()]``.
+
+    >>> [o.token() for o in overlay_grid(ccrs=[0.1, 1], granularities=[2])]
+    ['ccr0.1,gran2.0', 'ccr1.0,gran2.0']
+    """
+    out: List[Overlay] = []
+    for ccr in tuple(ccrs) or (None,):
+        for gran in tuple(granularities) or (1.0,):
+            for het in tuple(het_ranges) or (None,):
+                out.append(
+                    Overlay(
+                        bridge=bridge,
+                        ccr=ccr,
+                        granularity=gran,
+                        het_range=het,
+                        het_seed=het_seed,
+                    )
+                )
+    return out

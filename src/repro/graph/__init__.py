@@ -10,7 +10,12 @@ from repro.graph.analysis import (
     granularity,
 )
 from repro.graph.partition import TaskClass, classify_tasks
-from repro.graph.validation import check_dag, check_connected, validate_graph
+from repro.graph.validation import (
+    check_dag,
+    check_connected,
+    validate_graph,
+    weak_components,
+)
 from repro.graph.io import (
     graph_to_dict,
     graph_from_dict,
@@ -32,6 +37,7 @@ from repro.graph.interchange import (
     convert_file,
     relabel_tasks,
     graphs_equal,
+    bridge_components,
 )
 
 __all__ = [
@@ -47,6 +53,7 @@ __all__ = [
     "check_dag",
     "check_connected",
     "validate_graph",
+    "weak_components",
     "graph_to_dict",
     "graph_from_dict",
     "graph_to_json",
@@ -65,4 +72,5 @@ __all__ = [
     "convert_file",
     "relabel_tasks",
     "graphs_equal",
+    "bridge_components",
 ]

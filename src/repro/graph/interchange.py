@@ -1,9 +1,9 @@
 """Task-graph interchange: read and write external workload formats.
 
 The generators in :mod:`repro.workloads` cover the paper's two synthetic
-suites; this module is the front door for everything else. Three
-formats are supported, funneled through one registry (:data:`FORMATS`)
-with filename/content sniffing and strict validation against
+suites; this module is the front door for everything else. The formats
+are funneled through one registry (:data:`FORMATS`) with
+filename/content sniffing and strict validation against
 :mod:`repro.graph.validation`:
 
 * **stg** — the Standard Task Graph format of Kasahara's benchmark
@@ -26,9 +26,25 @@ with filename/content sniffing and strict validation against
   :class:`~repro.network.system.HeterogeneousSystem` via the exact
   cost table.
 
-The cache-native :func:`repro.graph.io.graph_to_json` dialect is
-registered as a fourth format (**json**) so ``repro convert`` can reach
-it.
+* **dax** — Pegasus DAX XML, the classic scientific-workflow
+  description (Montage, CyberShake, Epigenomics releases). Job
+  ``runtime`` attributes map to execution costs; the communication
+  cost of every parent→child edge sums the sizes of the files the
+  parent outputs and the child inputs. The writer emits one synthetic
+  file per edge (plus a ``reproid`` attribute foreign tools ignore),
+  so round trips are lossless.
+* **wfcommons** — WfCommons JSON workflow instances (wfformat), both
+  the modern ``specification``/``execution`` split and the legacy flat
+  task list, with the same runtime→cost and file-size→comm mapping as
+  DAX.
+
+The cache-native :func:`repro.graph.io.graph_to_json` dialect is also
+registered (**json**) so ``repro convert`` can reach it.
+
+Imports that are not weakly connected (e.g. published STG files whose
+only connectors were the stripped dummies) can be repaired with
+``bridge="epsilon"`` on :func:`load_workload` — see
+:func:`bridge_components`.
 
 Everything a reader returns is an :class:`ExternalWorkload`: the graph,
 the optional per-processor cost table, and the content hash used by
@@ -88,6 +104,14 @@ __all__ = [
     "write_dot",
     "read_trace",
     "write_trace",
+    "trace_to_dict",
+    "trace_from_dict",
+    "read_dax",
+    "write_dax",
+    "read_wfcommons",
+    "write_wfcommons",
+    "bridge_components",
+    "BRIDGE_POLICIES",
 ]
 
 TRACE_FORMAT = "repro-trace"
@@ -709,19 +733,16 @@ def read_dot(
 # trace — JSON workflow trace with per-processor cost vectors
 # ----------------------------------------------------------------------
 
-def write_trace(obj, indent: Optional[int] = 2) -> str:
-    """Serialize to the JSON workflow-trace schema.
+def trace_to_dict(obj) -> Dict[str, Any]:
+    """The plain-dict form of the JSON workflow-trace schema.
 
-    Accepts a :class:`~repro.graph.model.TaskGraph` (scalar ``cost`` per
-    task), an :class:`ExternalWorkload`, or a
-    :class:`~repro.network.system.HeterogeneousSystem` — the latter two
-    emit per-processor ``costs`` vectors when they have them, so a
-    bound platform's heterogeneity is preserved verbatim.
+    This is :func:`write_trace` without the final ``json.dumps`` — the
+    building block :mod:`repro.schedule.io` embeds in schedule bundles.
 
     >>> from repro.graph.model import TaskGraph
     >>> g = TaskGraph("t"); g.add_task(0, 1.5)
-    >>> print(write_trace(g, indent=None))
-    {"format": "repro-trace", "version": 1, "name": "t", "tasks": [{"id": 0, "cost": 1.5}], "edges": []}
+    >>> trace_to_dict(g)["tasks"]
+    [{'id': 0, 'cost': 1.5}]
     """
     graph = _as_graph(obj)
     exec_costs: Optional[Mapping[TaskId, Tuple[float, ...]]] = None
@@ -749,29 +770,37 @@ def write_trace(obj, indent: Optional[int] = 2) -> str:
         {"src": u, "dst": v, "comm": graph.comm_cost(u, v)}
         for u, v in graph.edges()
     ]
-    return json.dumps(doc, indent=indent)
+    return doc
 
 
-def read_trace(text: str, name: Optional[str] = None) -> ExternalWorkload:
-    """Parse a JSON workflow trace into an :class:`ExternalWorkload`.
+def write_trace(obj, indent: Optional[int] = 2) -> str:
+    """Serialize to the JSON workflow-trace schema.
 
-    Strict: the document must declare ``"format": "repro-trace"`` and a
-    supported version; tasks must uniformly use scalar ``cost`` or
-    vector ``costs`` (vectors all of length ``n_procs``); ids must be
-    JSON ints or strings. With vectors, the graph's nominal cost is the
-    vector minimum — "cost on the fastest processor", matching the
-    paper's convention — and the full table lands in ``exec_costs``.
+    Accepts a :class:`~repro.graph.model.TaskGraph` (scalar ``cost`` per
+    task), an :class:`ExternalWorkload`, or a
+    :class:`~repro.network.system.HeterogeneousSystem` — the latter two
+    emit per-processor ``costs`` vectors when they have them, so a
+    bound platform's heterogeneity is preserved verbatim.
 
-    >>> wl = read_trace(
-    ...     '{"format": "repro-trace", "version": 1, "n_procs": 2,'
-    ...     ' "tasks": [{"id": "a", "costs": [4.0, 2.0]}], "edges": []}')
-    >>> wl.graph.cost("a"), wl.exec_costs["a"], wl.n_procs
-    (2.0, (4.0, 2.0), 2)
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("t"); g.add_task(0, 1.5)
+    >>> print(write_trace(g, indent=None))
+    {"format": "repro-trace", "version": 1, "name": "t", "tasks": [{"id": 0, "cost": 1.5}], "edges": []}
     """
-    try:
-        doc = json.loads(text)
-    except ValueError as exc:
-        raise GraphError(f"trace is not valid JSON: {exc}") from None
+    return json.dumps(trace_to_dict(obj), indent=indent)
+
+
+def trace_from_dict(doc, name: Optional[str] = None) -> ExternalWorkload:
+    """Rebuild an :class:`ExternalWorkload` from :func:`trace_to_dict`
+    output — :func:`read_trace` without the JSON parsing, the building
+    block :mod:`repro.schedule.io` uses for schedule bundles.
+    ``content_hash`` is empty because there is no file text to hash.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("t"); g.add_task(0, 1.5)
+    >>> trace_from_dict(trace_to_dict(g)).graph.cost(0)
+    1.5
+    """
     if not isinstance(doc, dict) or doc.get("format") != TRACE_FORMAT:
         raise GraphError(
             f"not a {TRACE_FORMAT} document (format={doc.get('format')!r} "
@@ -844,7 +873,503 @@ def read_trace(text: str, name: Optional[str] = None) -> ExternalWorkload:
         graph=graph,
         exec_costs=exec_costs or None,
         fmt="trace",
-        content_hash=content_hash(text),
+    )
+
+
+def read_trace(text: str, name: Optional[str] = None) -> ExternalWorkload:
+    """Parse a JSON workflow trace into an :class:`ExternalWorkload`.
+
+    Strict: the document must declare ``"format": "repro-trace"`` and a
+    supported version; tasks must uniformly use scalar ``cost`` or
+    vector ``costs`` (vectors all of length ``n_procs``); ids must be
+    JSON ints or strings. With vectors, the graph's nominal cost is the
+    vector minimum — "cost on the fastest processor", matching the
+    paper's convention — and the full table lands in ``exec_costs``.
+
+    >>> wl = read_trace(
+    ...     '{"format": "repro-trace", "version": 1, "n_procs": 2,'
+    ...     ' "tasks": [{"id": "a", "costs": [4.0, 2.0]}], "edges": []}')
+    >>> wl.graph.cost("a"), wl.exec_costs["a"], wl.n_procs
+    (2.0, (4.0, 2.0), 2)
+    """
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise GraphError(f"trace is not valid JSON: {exc}") from None
+    workload = trace_from_dict(doc, name=name)
+    return dataclasses.replace(workload, content_hash=content_hash(text))
+
+
+# ----------------------------------------------------------------------
+# DAX — Pegasus abstract-workflow XML (scientific workflows)
+# ----------------------------------------------------------------------
+
+_DAX_NS = "http://pegasus.isi.edu/schema/DAX"
+
+
+def _xml_local(tag: str) -> str:
+    """Element tag without its ``{namespace}`` prefix."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def _positive_scales(runtime_scale: float, size_scale: float, default_comm: float, what: str) -> None:
+    if runtime_scale <= 0:
+        raise GraphError(f"{what}: runtime_scale must be > 0, got {runtime_scale}")
+    if size_scale <= 0:
+        raise GraphError(f"{what}: size_scale must be > 0, got {size_scale}")
+    if default_comm < 0:
+        raise GraphError(f"{what}: default_comm must be >= 0, got {default_comm}")
+
+
+def write_dax(obj) -> str:
+    """Serialize a graph to Pegasus DAX XML.
+
+    Jobs carry ``runtime`` (the exact execution cost) and one synthetic
+    file per outgoing edge whose ``size`` is the exact communication
+    cost, so :func:`read_dax`'s runtime→cost and shared-file→comm
+    mapping inverts the writer losslessly. A ``reproid`` attribute
+    (ignored by Pegasus tools) preserves non-``ID%05d`` task ids and
+    their int/str type.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("w"); g.add_task("a", 2.0); g.add_task("b", 4.0)
+    >>> g.add_edge("a", "b", 3.0)
+    >>> wl = read_dax(write_dax(g))
+    >>> graphs_equal(g, wl.graph), wl.graph.name
+    (True, 'w')
+    """
+    from xml.sax.saxutils import quoteattr
+
+    graph = _as_graph(obj)
+    tasks = graph.tasks()
+    index = {t: i for i, t in enumerate(tasks)}
+    for t in tasks:
+        _id_repr(t)  # reject non-int/str ids before emitting anything
+
+    def jid(t: TaskId) -> str:
+        return f"ID{index[t]:05d}"
+
+    def fid(u: TaskId, v: TaskId) -> str:
+        return f"e{index[u]}_{index[v]}"
+
+    n_children = sum(1 for t in tasks if graph.predecessors(t))
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        f'<adag xmlns="{_DAX_NS}" version="2.1" name={quoteattr(graph.name)} '
+        f'jobCount="{len(tasks)}" fileCount="{graph.n_edges}" '
+        f'childCount="{n_children}">',
+    ]
+    for t in tasks:
+        lines.append(
+            f'  <job id="{jid(t)}" name={quoteattr(str(t))} '
+            f'runtime="{_num(graph.cost(t))}" reproid={quoteattr(_id_repr(t))}>'
+        )
+        for p in graph.predecessors(t):
+            lines.append(
+                f'    <uses file="{fid(p, t)}" link="input" '
+                f'size="{_num(graph.comm_cost(p, t))}"/>'
+            )
+        for s in graph.successors(t):
+            lines.append(
+                f'    <uses file="{fid(t, s)}" link="output" '
+                f'size="{_num(graph.comm_cost(t, s))}"/>'
+            )
+        lines.append("  </job>")
+    for t in tasks:
+        preds = graph.predecessors(t)
+        if not preds:
+            continue
+        lines.append(f'  <child ref="{jid(t)}">')
+        for p in preds:
+            lines.append(f'    <parent ref="{jid(p)}"/>')
+        lines.append("  </child>")
+    lines.append("</adag>")
+    return "\n".join(lines)
+
+
+def read_dax(
+    text: str,
+    name: Optional[str] = None,
+    runtime_scale: float = 1.0,
+    size_scale: float = 1.0,
+    default_comm: float = 0.0,
+) -> ExternalWorkload:
+    """Parse a Pegasus DAX XML workflow into an :class:`ExternalWorkload`.
+
+    Execution cost is the job's ``runtime`` attribute times
+    ``runtime_scale`` (a job without a positive runtime is an error —
+    DAX carries no other cost signal). The communication cost of each
+    ``<child>``/``<parent>`` edge is the summed ``size`` of every file
+    the parent declares as ``link="output"`` and the child as
+    ``link="input"`` (times ``size_scale``); edges sharing no file get
+    ``default_comm``. Both DAX 2.x (``<uses file=...>``) and 3.x
+    (``<uses name=...>``) spellings are accepted, any XML namespace is
+    ignored, and a ``reproid`` attribute written by :func:`write_dax`
+    restores the original task id and type.
+
+    >>> wl = read_dax(
+    ...     '<adag name="d"><job id="A" runtime="2"/>'
+    ...     '<job id="B" runtime="3"/>'
+    ...     '<child ref="B"><parent ref="A"/></child></adag>',
+    ...     default_comm=1.5)
+    >>> wl.graph.tasks(), wl.graph.comm_cost("A", "B")
+    (['A', 'B'], 1.5)
+    """
+    import xml.etree.ElementTree as ET
+
+    _positive_scales(runtime_scale, size_scale, default_comm, "DAX")
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise GraphError(f"DAX is not well-formed XML: {exc}") from None
+    if _xml_local(root.tag) != "adag":
+        raise GraphError(
+            f"not a DAX document (root element <{_xml_local(root.tag)}>, "
+            f"expected <adag>)"
+        )
+    order: List[str] = []
+    tid_of: Dict[str, TaskId] = {}
+    cost: Dict[str, float] = {}
+    inputs: Dict[str, Dict[str, float]] = {}
+    outputs: Dict[str, Dict[str, float]] = {}
+    edges: List[Tuple[str, str]] = []
+    for el in root:
+        tag = _xml_local(el.tag)
+        if tag == "job":
+            jid = el.get("id")
+            if not jid:
+                raise GraphError("DAX job without an id attribute")
+            if jid in cost:
+                raise GraphError(f"duplicate DAX job id {jid!r}")
+            runtime = el.get("runtime")
+            if runtime is None:
+                raise GraphError(
+                    f"DAX job {jid!r} has no runtime attribute; runtimes "
+                    f"are the only execution-cost signal a DAX carries"
+                )
+            try:
+                c = float(runtime) * runtime_scale
+            except ValueError:
+                raise GraphError(
+                    f"DAX job {jid!r}: runtime={runtime!r} is not a number"
+                ) from None
+            if c <= 0:
+                raise GraphError(
+                    f"DAX job {jid!r} has non-positive runtime {runtime!r}; "
+                    f"the model requires positive execution costs"
+                )
+            reproid = el.get("reproid")
+            if reproid is not None:
+                try:
+                    tid = _parse_id(reproid)
+                except ValueError:
+                    raise GraphError(
+                        f"DAX job {jid!r}: malformed reproid {reproid!r}"
+                    ) from None
+            else:
+                tid = jid
+            order.append(jid)
+            cost[jid] = c
+            tid_of[jid] = tid
+            inputs[jid] = {}
+            outputs[jid] = {}
+            for use in el:
+                if _xml_local(use.tag) != "uses":
+                    continue
+                fname = use.get("file") or use.get("name")
+                if fname is None:
+                    continue
+                try:
+                    size = float(use.get("size", 0.0))
+                except ValueError:
+                    raise GraphError(
+                        f"DAX job {jid!r}: size of file {fname!r} is not "
+                        f"a number"
+                    ) from None
+                link = (use.get("link") or "").lower()
+                if link == "input":
+                    inputs[jid][fname] = size
+                elif link == "output":
+                    outputs[jid][fname] = size
+        elif tag == "child":
+            ref = el.get("ref")
+            if ref is None:
+                raise GraphError("DAX <child> element without a ref attribute")
+            for par in el:
+                if _xml_local(par.tag) != "parent":
+                    continue
+                pref = par.get("ref")
+                if pref is None:
+                    raise GraphError(
+                        f"DAX <parent> under child {ref!r} has no ref attribute"
+                    )
+                edges.append((pref, ref))
+    if not order:
+        raise GraphError("DAX document has no jobs")
+    if name is None:
+        name = root.get("name")
+        if name is None:
+            name = "dax"
+    graph = TaskGraph(name=name)
+    for jid in order:
+        graph.add_task(tid_of[jid], cost[jid])
+    seen_edges: set = set()
+    for pref, ref in edges:
+        if pref not in cost:
+            raise GraphError(f"DAX child {ref!r} references unknown parent {pref!r}")
+        if ref not in cost:
+            raise GraphError(f"DAX <child ref={ref!r}> references an unknown job")
+        if (pref, ref) in seen_edges:
+            continue  # repeated parent/child declarations are legal DAX
+        seen_edges.add((pref, ref))
+        shared = [f for f in outputs[pref] if f in inputs[ref]]
+        comm = (
+            sum(outputs[pref][f] for f in shared) * size_scale
+            if shared else default_comm
+        )
+        graph.add_edge(tid_of[pref], tid_of[ref], comm)
+    return ExternalWorkload(graph=graph, fmt="dax", content_hash=content_hash(text))
+
+
+# ----------------------------------------------------------------------
+# WfCommons — JSON workflow instances (wfformat)
+# ----------------------------------------------------------------------
+
+WFCOMMONS_SCHEMA_VERSION = "1.5"
+
+
+def write_wfcommons(obj, indent: Optional[int] = 2) -> str:
+    """Serialize a graph to a WfCommons JSON workflow instance.
+
+    Emits the modern split layout: structure (parents/children and one
+    synthetic file per edge) under ``workflow.specification``, exact
+    runtimes under ``workflow.execution``. File ``sizeInBytes`` carries
+    the exact communication cost, so :func:`read_wfcommons` inverts the
+    writer losslessly; ids are written as native JSON values, so int
+    and str ids keep their types.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("w"); g.add_task(0, 2.0); g.add_task("b", 4.0)
+    >>> g.add_edge(0, "b", 3.0)
+    >>> wl = read_wfcommons(write_wfcommons(g))
+    >>> graphs_equal(g, wl.graph), wl.graph.name
+    (True, 'w')
+    """
+    graph = _as_graph(obj)
+    tasks = graph.tasks()
+    index = {t: i for i, t in enumerate(tasks)}
+    for t in tasks:
+        _id_repr(t)
+
+    def fid(u: TaskId, v: TaskId) -> str:
+        return f"e{index[u]}_{index[v]}"
+
+    doc: Dict[str, Any] = {
+        "name": graph.name,
+        "schemaVersion": WFCOMMONS_SCHEMA_VERSION,
+        "workflow": {
+            "specification": {
+                "tasks": [
+                    {
+                        "id": t,
+                        "parents": list(graph.predecessors(t)),
+                        "children": list(graph.successors(t)),
+                        "inputFiles": [fid(p, t) for p in graph.predecessors(t)],
+                        "outputFiles": [fid(t, s) for s in graph.successors(t)],
+                    }
+                    for t in tasks
+                ],
+                "files": [
+                    {"id": fid(u, v), "sizeInBytes": graph.comm_cost(u, v)}
+                    for u, v in graph.edges()
+                ],
+            },
+            "execution": {
+                "tasks": [
+                    {"id": t, "runtimeInSeconds": graph.cost(t)} for t in tasks
+                ],
+            },
+        },
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def _wf_file_size(entry: Mapping, what: str) -> float:
+    size = entry.get("sizeInBytes", entry.get("size", 0.0))
+    try:
+        return float(size or 0.0)
+    except (TypeError, ValueError):
+        raise GraphError(f"{what}: file size {size!r} is not a number") from None
+
+
+def read_wfcommons(
+    text: str,
+    name: Optional[str] = None,
+    runtime_scale: float = 1.0,
+    size_scale: float = 1.0,
+    default_comm: float = 0.0,
+) -> ExternalWorkload:
+    """Parse a WfCommons JSON workflow instance.
+
+    Accepts both wfformat layouts found in the wild: the modern split
+    (``workflow.specification.tasks`` + ``workflow.execution.tasks``,
+    schema >= 1.4) and the legacy flat list (``workflow.tasks`` with
+    inline ``runtime``/``files``). Execution cost is
+    ``runtimeInSeconds`` (or ``runtime``) times ``runtime_scale`` and
+    must be positive; the communication cost of every parent→child edge
+    sums the sizes of the files the parent outputs and the child
+    inputs (times ``size_scale``), falling back to ``default_comm``
+    when no file is shared.
+
+    >>> wl = read_wfcommons('{"name": "w", "workflow": {"tasks": ['
+    ...     '{"name": "a", "runtime": 2.0, "parents": []},'
+    ...     '{"name": "b", "runtime": 3.0, "parents": ["a"]}]}}',
+    ...     default_comm=0.5)
+    >>> wl.graph.tasks(), wl.graph.comm_cost("a", "b")
+    (['a', 'b'], 0.5)
+    """
+    _positive_scales(runtime_scale, size_scale, default_comm, "WfCommons")
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise GraphError(f"WfCommons document is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or not isinstance(doc.get("workflow"), dict):
+        raise GraphError("not a WfCommons document (no 'workflow' object)")
+    wf = doc["workflow"]
+
+    def task_key(entry, prefer: Tuple[str, str]) -> TaskId:
+        if not isinstance(entry, dict):
+            raise GraphError(f"malformed WfCommons task entry {entry!r}")
+        tid = entry.get(prefer[0], entry.get(prefer[1]))
+        if tid is None:
+            raise GraphError(f"WfCommons task entry without id/name: {entry!r}")
+        if not _is_interchange_id(tid):
+            raise GraphError(f"WfCommons task id must be int or str, got {tid!r}")
+        return tid
+
+    def task_cost(tid: TaskId, runtime) -> float:
+        if runtime is None:
+            raise GraphError(
+                f"WfCommons task {tid!r} has no runtime; runtimes are the "
+                f"only execution-cost signal a workflow instance carries"
+            )
+        try:
+            c = float(runtime) * runtime_scale
+        except (TypeError, ValueError):
+            raise GraphError(
+                f"WfCommons task {tid!r}: runtime {runtime!r} is not a number"
+            ) from None
+        if c <= 0:
+            raise GraphError(
+                f"WfCommons task {tid!r} has non-positive runtime "
+                f"{runtime!r}; the model requires positive execution costs"
+            )
+        return c
+
+    order: List[TaskId] = []
+    cost: Dict[TaskId, float] = {}
+    parents: Dict[TaskId, List] = {}
+    children: Dict[TaskId, List] = {}
+    inputs: Dict[TaskId, Dict[str, float]] = {}
+    outputs: Dict[TaskId, Dict[str, float]] = {}
+
+    spec = wf.get("specification")
+    if isinstance(spec, dict) and isinstance(spec.get("tasks"), list):
+        # modern layout: structure under specification, runtimes under
+        # execution, file sizes in a shared table
+        sizes: Dict[str, float] = {}
+        for f in spec.get("files") or []:
+            if isinstance(f, dict) and (f.get("id") or f.get("name")) is not None:
+                sizes[f.get("id", f.get("name"))] = _wf_file_size(f, "WfCommons")
+        runtimes: Dict[TaskId, Any] = {}
+        execution = wf.get("execution")
+        for e in (execution or {}).get("tasks", []) if isinstance(execution, dict) else []:
+            if isinstance(e, dict):
+                runtimes[e.get("id", e.get("name"))] = e.get(
+                    "runtimeInSeconds", e.get("runtime")
+                )
+        for entry in spec["tasks"]:
+            tid = task_key(entry, ("id", "name"))
+            if tid in cost:
+                raise GraphError(f"duplicate WfCommons task id {tid!r}")
+            runtime = runtimes.get(
+                tid, entry.get("runtimeInSeconds", entry.get("runtime"))
+            )
+            cost[tid] = task_cost(tid, runtime)
+            order.append(tid)
+            parents[tid] = list(entry.get("parents") or [])
+            children[tid] = list(entry.get("children") or [])
+            inputs[tid] = {f: sizes.get(f, 0.0) for f in entry.get("inputFiles") or []}
+            outputs[tid] = {f: sizes.get(f, 0.0) for f in entry.get("outputFiles") or []}
+    elif isinstance(wf.get("tasks"), list):
+        # legacy flat layout: runtimes and files inline on each task.
+        # Identity is the *name* here — legacy instances list parents/
+        # children by name even when tasks also carry a surrogate id
+        for entry in wf["tasks"]:
+            tid = task_key(entry, ("name", "id"))
+            if tid in cost:
+                raise GraphError(f"duplicate WfCommons task id {tid!r}")
+            runtime = entry.get("runtimeInSeconds", entry.get("runtime"))
+            cost[tid] = task_cost(tid, runtime)
+            order.append(tid)
+            parents[tid] = list(entry.get("parents") or [])
+            children[tid] = list(entry.get("children") or [])
+            ins: Dict[str, float] = {}
+            outs: Dict[str, float] = {}
+            for f in entry.get("files") or []:
+                if not isinstance(f, dict):
+                    continue
+                fname = f.get("id", f.get("name"))
+                if fname is None:
+                    continue
+                link = (f.get("link") or "").lower()
+                if link == "input":
+                    ins[fname] = _wf_file_size(f, f"WfCommons task {tid!r}")
+                elif link == "output":
+                    outs[fname] = _wf_file_size(f, f"WfCommons task {tid!r}")
+            inputs[tid] = ins
+            outputs[tid] = outs
+    else:
+        raise GraphError(
+            "WfCommons workflow carries neither 'specification.tasks' "
+            "nor a flat 'tasks' list"
+        )
+
+    graph_name = name if name is not None else doc.get("name")
+    graph = TaskGraph(
+        name=graph_name if isinstance(graph_name, str) else "wfcommons"
+    )
+    for tid in order:
+        graph.add_task(tid, cost[tid])
+    pairs: List[Tuple[TaskId, TaskId]] = []
+    seen: set = set()
+    for tid in order:
+        for p in parents[tid]:
+            if p not in cost:
+                raise GraphError(
+                    f"WfCommons task {tid!r} references unknown parent {p!r}"
+                )
+            if (p, tid) not in seen:
+                seen.add((p, tid))
+                pairs.append((p, tid))
+    for tid in order:
+        for ch in children[tid]:
+            if ch not in cost:
+                raise GraphError(
+                    f"WfCommons task {tid!r} references unknown child {ch!r}"
+                )
+            if (tid, ch) not in seen:
+                seen.add((tid, ch))
+                pairs.append((tid, ch))
+    for u, v in pairs:
+        shared = [f for f in outputs[u] if f in inputs[v]]
+        comm = (
+            sum(outputs[u][f] for f in shared) * size_scale
+            if shared else default_comm
+        )
+        graph.add_edge(u, v, comm)
+    return ExternalWorkload(
+        graph=graph, fmt="wfcommons", content_hash=content_hash(text)
     )
 
 
@@ -907,6 +1432,18 @@ def _sniff_trace(text: str) -> bool:
     return doc is not None and doc.get("format") == TRACE_FORMAT
 
 
+def _sniff_dax(text: str) -> bool:
+    return "<adag" in text
+
+
+def _sniff_wfcommons(text: str) -> bool:
+    doc = _json_doc(text)
+    if doc is None:
+        return False
+    wf = doc.get("workflow")
+    return isinstance(wf, dict) and ("tasks" in wf or "specification" in wf)
+
+
 def _sniff_json(text: str) -> bool:
     doc = _json_doc(text)
     return (
@@ -935,6 +1472,15 @@ FORMATS: Dict[str, GraphFormat] = {
         "json", (".json",), _read_json, _write_json, _sniff_json,
         "repro.graph.io cache-native JSON dict",
     ),
+    "dax": GraphFormat(
+        "dax", (".dax",), read_dax, write_dax, _sniff_dax,
+        "Pegasus DAX XML workflow (runtime -> cost, shared file sizes -> comm)",
+    ),
+    "wfcommons": GraphFormat(
+        "wfcommons", (".wfcommons.json",), read_wfcommons, write_wfcommons,
+        _sniff_wfcommons,
+        "WfCommons JSON workflow instance (runtime -> cost, file sizes -> comm)",
+    ),
 }
 
 
@@ -942,7 +1488,7 @@ def format_names() -> Tuple[str, ...]:
     """Registered format names, in registry order.
 
     >>> format_names()
-    ('stg', 'dot', 'trace', 'json')
+    ('stg', 'dot', 'trace', 'json', 'dax', 'wfcommons')
     """
     return tuple(FORMATS)
 
@@ -992,11 +1538,86 @@ def sniff_format(text: str, filename: Optional[str] = None) -> str:
     )
 
 
+#: import policies for graphs that are not weakly connected: "none"
+#: rejects them (unless require_connected=False), "epsilon" inserts
+#: minimal-cost connector edges via :func:`bridge_components`
+BRIDGE_POLICIES = ("none", "epsilon")
+
+#: communication cost of an epsilon connector edge (zero is the true
+#: minimum — the engines support zero-cost edges explicitly)
+BRIDGE_COMM = 0.0
+
+
+def bridge_components(graph: TaskGraph, comm: float = BRIDGE_COMM) -> TaskGraph:
+    """Connect a disconnected DAG with minimal-cost connector edges.
+
+    Published STG corpora sometimes use the zero-cost entry/exit
+    dummies as the *only* link between otherwise-independent chains;
+    stripping the dummies (required — the model needs positive task
+    costs) then breaks the schedulers' connected-DAG assumption. This
+    repairs such graphs: the first source task of the first component
+    becomes a hub, and one ``hub -> first source of component`` edge of
+    communication cost ``comm`` (default 0.0) is added per remaining
+    component. The bridge edges serialize each bridged component behind
+    the hub task's completion — a distortion the zero communication
+    cost keeps as small as the precedence model allows.
+
+    Returns ``graph`` itself (not a copy) when it is already weakly
+    connected.
+
+    >>> from repro.graph.model import TaskGraph
+    >>> g = TaskGraph("two"); g.add_task("a", 1.0); g.add_task("b", 2.0)
+    >>> h = bridge_components(g)
+    >>> h.edges(), h.comm_cost("a", "b")
+    ([('a', 'b')], 0.0)
+    """
+    from repro.graph.validation import weak_components
+
+    if comm < 0:
+        raise GraphError(f"bridge comm cost must be >= 0, got {comm}")
+    components = weak_components(graph)
+    if len(components) <= 1:
+        return graph
+
+    def first_source(members):
+        # bridging runs before the DAG check, so a cyclic component
+        # (which has no source) must fail cleanly here, not later
+        source = next(
+            (t for t in members if not graph.predecessors(t)), None
+        )
+        if source is None:
+            raise GraphError(
+                f"cannot bridge {graph.name!r}: a component has no source "
+                f"task, so the graph contains a cycle"
+            )
+        return source
+
+    out = graph.copy()
+    hub = first_source(components[0])
+    for members in components[1:]:
+        out.add_edge(hub, first_source(members), comm)
+    return out
+
+
+def _apply_bridge(workload: ExternalWorkload, bridge: str) -> ExternalWorkload:
+    if bridge not in BRIDGE_POLICIES:
+        raise GraphError(
+            f"unknown bridge policy {bridge!r}; known: {list(BRIDGE_POLICIES)}"
+        )
+    if bridge == "none":
+        return workload
+    bridged = bridge_components(workload.graph)
+    if bridged is workload.graph:
+        return workload
+    return dataclasses.replace(workload, graph=bridged)
+
+
 def loads_workload(
     text: str,
     fmt: Optional[str] = None,
     validate: bool = True,
     require_connected: bool = True,
+    bridge: str = "none",
     **reader_kwargs,
 ) -> ExternalWorkload:
     """Read a workload from in-memory text (see :func:`load_workload`)."""
@@ -1031,6 +1652,7 @@ def loads_workload(
         accepted = inspect.signature(handler.reader).parameters
         reader_kwargs = {k: v for k, v in reader_kwargs.items() if k in accepted}
     workload = handler.reader(text, **reader_kwargs)
+    workload = _apply_bridge(workload, bridge)
     if validate:
         validate_graph(workload.graph, require_connected=require_connected)
     return workload
@@ -1041,15 +1663,18 @@ def load_workload(
     fmt: Optional[str] = None,
     validate: bool = True,
     require_connected: bool = True,
+    bridge: str = "none",
     **reader_kwargs,
 ) -> ExternalWorkload:
     """Read a task-graph file, sniffing the format unless ``fmt`` given.
 
     The graph is validated strictly (non-empty, acyclic and — unless
     ``require_connected=False`` — weakly connected, the paper's
-    standing assumption) before it is returned. Reader keyword options
-    (``default_comm``, ``strip_dummies``, ``default_cost``, ...) pass
-    through to the format's reader.
+    standing assumption) before it is returned. ``bridge="epsilon"``
+    repairs a disconnected import first (see
+    :func:`bridge_components`). Reader keyword options
+    (``default_comm``, ``strip_dummies``, ``default_cost``,
+    ``runtime_scale``, ...) pass through to the format's reader.
     """
     with open(path) as fh:
         text = fh.read()
@@ -1057,7 +1682,7 @@ def load_workload(
         fmt = sniff_format(text, filename=path)
     workload = loads_workload(
         text, fmt, validate=validate,
-        require_connected=require_connected, **reader_kwargs,
+        require_connected=require_connected, bridge=bridge, **reader_kwargs,
     )
     return dataclasses.replace(workload, source=path)
 
@@ -1101,6 +1726,7 @@ def convert_file(
     to_fmt: Optional[str] = None,
     validate: bool = True,
     require_connected: bool = True,
+    bridge: str = "none",
     **reader_kwargs,
 ) -> Tuple[str, str, ExternalWorkload]:
     """Convert ``src`` to ``dst`` between any two registered formats.
@@ -1111,7 +1737,7 @@ def convert_file(
     """
     workload = load_workload(
         src, fmt=from_fmt, validate=validate,
-        require_connected=require_connected, **reader_kwargs,
+        require_connected=require_connected, bridge=bridge, **reader_kwargs,
     )
     out_fmt = save_workload(workload, dst, fmt=to_fmt)
     return workload.fmt, out_fmt, workload

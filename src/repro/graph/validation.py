@@ -18,21 +18,36 @@ def check_dag(graph: TaskGraph) -> None:
     graph.topological_order()
 
 
+def weak_components(graph: TaskGraph) -> List[List]:
+    """Weakly-connected components (edge direction ignored), ordered by
+    first member in task-insertion order; members keep insertion order."""
+    assigned = {}
+    components: List[List] = []
+    for root in graph.tasks():
+        if root in assigned:
+            continue
+        members = [root]
+        assigned[root] = len(components)
+        stack = [root]
+        while stack:
+            t = stack.pop()
+            for nb in graph.successors(t) + graph.predecessors(t):
+                if nb not in assigned:
+                    assigned[nb] = len(components)
+                    members.append(nb)
+                    stack.append(nb)
+        components.append(sorted(members, key=graph.task_index))
+    return components
+
+
 def check_connected(graph: TaskGraph) -> None:
     """Raise unless the graph is weakly connected (ignoring edge direction)."""
     tasks = graph.tasks()
     if not tasks:
         return
-    seen = {tasks[0]}
-    stack = [tasks[0]]
-    while stack:
-        t = stack.pop()
-        for nb in graph.successors(t) + graph.predecessors(t):
-            if nb not in seen:
-                seen.add(nb)
-                stack.append(nb)
-    if len(seen) != graph.n_tasks:
-        missing = [t for t in tasks if t not in seen]
+    components = weak_components(graph)
+    if len(components) > 1:
+        missing = [t for comp in components[1:] for t in comp]
         raise DisconnectedGraphError(
             f"graph {graph.name!r} is not weakly connected; "
             f"{len(missing)} unreachable task(s), e.g. {missing[:5]}"

@@ -231,6 +231,13 @@ class HeterogeneousSystem:
     def n_procs(self) -> int:
         return self.topology.n_procs
 
+    @property
+    def per_link_factors(self) -> Dict[Link, float]:
+        """Copy of the explicit per-link factor table (PER_LINK mode;
+        empty otherwise) — exported by schedule bundles so a replayed
+        system reproduces the exact link heterogeneity."""
+        return dict(self._per_link)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"HeterogeneousSystem(graph={self.graph.name!r}, "

@@ -24,6 +24,7 @@ tests and the link-model ablations.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -345,6 +346,86 @@ class Topology:
 # ----------------------------------------------------------------------
 # builders
 # ----------------------------------------------------------------------
+
+# ----------------------------------------------------------------------
+# file front door (sniffed JSON format, mirroring graph/interchange)
+# ----------------------------------------------------------------------
+
+TOPOLOGY_FORMAT = "repro-topology"
+TOPOLOGY_FORMAT_VERSION = 1
+
+
+def topology_to_json(topology: Topology, indent: Optional[int] = 2) -> str:
+    """Serialize a topology to the sniffable JSON file format: a
+    ``format``/``version`` envelope around :meth:`Topology.to_dict`.
+
+    >>> print(topology_to_json(chain(2), indent=None))
+    {"format": "repro-topology", "version": 1, "name": "chain2", "n_procs": 2, "links": [[0, 1]]}
+    """
+    doc = {
+        "format": TOPOLOGY_FORMAT,
+        "version": TOPOLOGY_FORMAT_VERSION,
+        **topology.to_dict(),
+    }
+    return json.dumps(doc, indent=indent)
+
+
+def topology_from_json(text: str) -> Topology:
+    """Parse :func:`topology_to_json` output back into a
+    :class:`Topology` (the constructor re-validates structure, so a
+    hand-edited file with duplicate links or a disconnected network is
+    rejected here).
+
+    >>> topology_from_json(topology_to_json(ring(4))).n_procs
+    4
+    """
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise TopologyError(f"topology file is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or doc.get("format") != TOPOLOGY_FORMAT:
+        raise TopologyError(
+            f"not a {TOPOLOGY_FORMAT} document "
+            + (f"(format={doc.get('format')!r})" if isinstance(doc, dict) else "")
+        )
+    if doc.get("version") != TOPOLOGY_FORMAT_VERSION:
+        raise TopologyError(
+            f"unsupported topology format version {doc.get('version')!r}"
+        )
+    if "n_procs" not in doc or "links" not in doc:
+        raise TopologyError("topology document needs 'n_procs' and 'links'")
+    return Topology.from_dict(doc)
+
+
+def is_topology_json(text: str) -> bool:
+    """Content sniffer: does ``text`` look like a repro-topology file?
+
+    >>> is_topology_json(topology_to_json(ring(4)))
+    True
+    >>> is_topology_json("digraph g { }")
+    False
+    """
+    if not text.lstrip().startswith("{"):
+        return False
+    try:
+        doc = json.loads(text)
+    except ValueError:
+        return False
+    return isinstance(doc, dict) and doc.get("format") == TOPOLOGY_FORMAT
+
+
+def save_topology(topology: Topology, path: str) -> None:
+    """Write ``topology`` to ``path`` in the JSON file format."""
+    with open(path, "w") as fh:
+        fh.write(topology_to_json(topology) + "\n")
+
+
+def load_topology(path: str) -> Topology:
+    """Read a topology file written by :func:`save_topology` (or by
+    hand — the format is :meth:`Topology.to_dict` plus an envelope)."""
+    with open(path) as fh:
+        return topology_from_json(fh.read())
+
 
 def ring(m: int, name: Optional[str] = None) -> Topology:
     """Ring of ``m`` processors (paper topology (a)).

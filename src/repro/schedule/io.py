@@ -1,22 +1,35 @@
 """Schedule serialization — export a schedule for downstream tooling.
 
-The dict/JSON form records the platform identity, every task slot, and
-every message route with per-hop timing. It is self-contained enough to
-re-render a Gantt chart or audit contention in another tool; importing it
-back into a :class:`Schedule` requires the original system object (costs
-are not duplicated in the export).
+Two export granularities:
+
+* the **schedule** dict/JSON form (:func:`schedule_to_dict`) records
+  the platform identity, every task slot, and every message route with
+  per-hop timing. It is self-contained enough to re-render a Gantt
+  chart or audit contention in another tool; importing it back into a
+  :class:`Schedule` requires the original system object (costs are not
+  duplicated in the export);
+* the **bundle** form (:func:`bundle_to_dict` / :func:`write_bundle`)
+  additionally embeds the task graph as a workflow-trace dict (exact
+  per-processor cost vectors), the topology dict (links + specs), and
+  the link-heterogeneity parameters — everything needed to rebuild the
+  system and replay the schedule through the validator *without* the
+  generating code. ``read_bundle`` + ``validate_schedule`` is a full
+  audit of a schedule produced elsewhere.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 from repro.errors import SchedulingError
 from repro.network.system import HeterogeneousSystem
 from repro.schedule.schedule import Schedule
 
 _FORMAT_VERSION = 1
+
+BUNDLE_FORMAT = "repro-schedule-bundle"
+BUNDLE_VERSION = 1
 
 
 def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
@@ -91,3 +104,123 @@ def schedule_from_dict(data: Dict[str, Any], system: HeterogeneousSystem) -> Sch
 
 def schedule_from_json(text: str, system: HeterogeneousSystem) -> Schedule:
     return schedule_from_dict(json.loads(text), system)
+
+
+# ----------------------------------------------------------------------
+# bundles: schedule + graph + topology + link model, fully replayable
+# ----------------------------------------------------------------------
+
+def bundle_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Self-contained export: the schedule plus everything needed to
+    rebuild its system (trace-dict graph with exact exec vectors and
+    nominal costs, topology dict, link-model parameters).
+
+    Task ids must be interchange-safe (int/str) — relabel with
+    :func:`repro.graph.interchange.relabel_tasks` first if they are not.
+    """
+    from repro.graph.interchange import ExternalWorkload, trace_to_dict
+
+    system = schedule.system
+    graph = system.graph
+    workload = ExternalWorkload(
+        graph=graph,
+        exec_costs={t: system.exec_cost_row(t) for t in graph.tasks()},
+    )
+    return {
+        "format": BUNDLE_FORMAT,
+        "version": BUNDLE_VERSION,
+        "graph": trace_to_dict(workload),
+        # the trace convention derives nominal costs from the vectors
+        # (fastest processor); record the graph's own nominal costs so
+        # the rebuilt system is exact even when they differ
+        "nominal_costs": [graph.cost(t) for t in graph.tasks()],
+        "topology": system.topology.to_dict(),
+        "link_model": {
+            "mode": system.link_mode.name,
+            "factor_range": list(system.link_factor_range),
+            "seed": system.link_seed,
+            "per_link": {
+                f"{a}-{b}": factor
+                for (a, b), factor in sorted(system.per_link_factors.items())
+            },
+        },
+        "schedule": schedule_to_dict(schedule),
+    }
+
+
+def bundle_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Rebuild system and schedule from :func:`bundle_to_dict` output."""
+    from repro.graph.interchange import trace_from_dict
+    from repro.network.system import LinkHeterogeneity
+    from repro.network.topology import Topology
+
+    if not isinstance(data, dict) or data.get("format") != BUNDLE_FORMAT:
+        raise SchedulingError(
+            f"not a {BUNDLE_FORMAT} document "
+            + (f"(format={data.get('format')!r})" if isinstance(data, dict) else "")
+        )
+    if data.get("version") != BUNDLE_VERSION:
+        raise SchedulingError(
+            f"unsupported bundle version {data.get('version')!r}"
+        )
+    workload = trace_from_dict(data["graph"])
+    if workload.exec_costs is None:
+        raise SchedulingError("bundle graph carries no exec-cost vectors")
+    graph = workload.graph
+    nominal = data.get("nominal_costs")
+    if nominal is not None:
+        if len(nominal) != graph.n_tasks:
+            raise SchedulingError(
+                f"bundle has {len(nominal)} nominal costs for "
+                f"{graph.n_tasks} tasks"
+            )
+        for t, cost in zip(graph.tasks(), nominal):
+            graph.set_task_cost(t, cost)
+    topology = Topology.from_dict(data["topology"])
+    lm = data.get("link_model") or {}
+    try:
+        mode = LinkHeterogeneity[lm.get("mode", "HOMOGENEOUS")]
+    except KeyError:
+        raise SchedulingError(
+            f"unknown link heterogeneity mode {lm.get('mode')!r}"
+        ) from None
+    per_link = {
+        tuple(int(p) for p in key.split("-")): factor
+        for key, factor in (lm.get("per_link") or {}).items()
+    }
+    system = HeterogeneousSystem.from_exec_table(
+        graph,
+        topology,
+        workload.exec_costs,
+        link_mode=mode,
+        per_link_factors=per_link or None,
+        link_factor_range=tuple(lm.get("factor_range", (1.0, 1.0))),
+        link_seed=lm.get("seed", 0),
+    )
+    return schedule_from_dict(data["schedule"], system)
+
+
+def bundle_to_json(schedule: Schedule, indent: Optional[int] = None) -> str:
+    return json.dumps(bundle_to_dict(schedule), indent=indent)
+
+
+def bundle_from_json(text: str) -> Schedule:
+    try:
+        data = json.loads(text)
+    except ValueError as exc:
+        raise SchedulingError(f"bundle is not valid JSON: {exc}") from None
+    return bundle_from_dict(data)
+
+
+def write_bundle(schedule: Schedule, path: str, indent: Optional[int] = None) -> None:
+    """Write a replayable schedule bundle to ``path`` (JSON)."""
+    with open(path, "w") as fh:
+        fh.write(bundle_to_json(schedule, indent=indent) + "\n")
+
+
+def read_bundle(path: str) -> Schedule:
+    """Read a bundle back into a fully-bound :class:`Schedule` — no
+    generating code needed; feed the result to ``validate_schedule``
+    for a complete replay audit."""
+    with open(path) as fh:
+        return bundle_from_json(fh.read())

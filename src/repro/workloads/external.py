@@ -7,14 +7,18 @@ it in a :class:`~repro.experiments.config.Cell` with ``suite
 the sharded :class:`~repro.experiments.cache.ResultCache`) exactly like
 the generated suites.
 
-Cache correctness hinges on the *app token*: ``<path>#<sha256[:12]>``.
-The content hash is baked into the cell — and therefore into the cache
-key — so editing the file changes the key instead of silently serving
-stale results, and :func:`resolve_external` refuses to build a system
-when the file on disk no longer matches the token. Tokens carry the
-path because pool workers rebuild every cell from scratch in their own
-process: the file system is the only channel they share with the
-parent.
+Cache correctness hinges on the *app token*:
+``<path>#<sha256[:12]>[!<overlay>]``. The content hash is baked into
+the cell — and therefore into the cache key — so editing the file
+changes the key instead of silently serving stale results, and
+:func:`resolve_external` refuses to build a system when the file on
+disk no longer matches the token. Tokens carry the path because pool
+workers rebuild every cell from scratch in their own process: the file
+system is the only channel they share with the parent. The optional
+``!overlay`` suffix is a :class:`repro.corpus.overlays.Overlay` token
+(bridge / CCR / granularity / heterogeneity transforms), applied by
+:func:`resolve_external` after loading — because it sits inside the
+app token, every overlay parameter is cache-key-visible too.
 
 Examples
 --------
@@ -38,6 +42,7 @@ from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.graph.interchange import ExternalWorkload, load_workload
+from repro.corpus.overlays import Overlay, apply_overlay, parse_overlay
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard; see external_cell
     from repro.experiments.config import Cell
@@ -46,6 +51,7 @@ __all__ = [
     "EXTERNAL_SUITE",
     "app_token",
     "split_token",
+    "parse_token",
     "resolve_external",
     "external_cell",
 ]
@@ -61,39 +67,66 @@ _HASH_LEN = 12
 _loaded: Dict[str, ExternalWorkload] = {}
 
 
-def app_token(path: str, workload: Optional[ExternalWorkload] = None) -> str:
-    """The cache-key identity of a graph file: ``path#sha256[:12]``.
+def app_token(
+    path: str,
+    workload: Optional[ExternalWorkload] = None,
+    overlay: Optional[Overlay] = None,
+) -> str:
+    """The cache-key identity of a graph file:
+    ``path#sha256[:12][!overlay]``.
 
     >>> token = 'examples/graphs/x.stg#0123456789ab'
     >>> split_token(token)
     ('examples/graphs/x.stg', '0123456789ab')
     """
     if workload is None:
-        workload = load_workload(path)
-    return f"{path}#{workload.content_hash[:_HASH_LEN]}"
+        workload = load_workload(
+            path, bridge=overlay.bridge if overlay is not None else "none"
+        )
+    token = f"{path}#{workload.content_hash[:_HASH_LEN]}"
+    suffix = overlay.token() if overlay is not None else ""
+    return f"{token}!{suffix}" if suffix else token
+
+
+def parse_token(token: str) -> Tuple[str, Optional[str], Overlay]:
+    """Split an app token into ``(path, hash-or-None, overlay)``.
+
+    >>> path, digest, ovl = parse_token('x.stg#0123456789ab!bridge,ccr1')
+    >>> path, digest, ovl.bridge, ovl.ccr
+    ('x.stg', '0123456789ab', 'epsilon', 1.0)
+    """
+    path, digest, overlay_text = token, None, ""
+    if "#" in token:
+        path, rest = token.rsplit("#", 1)
+        if "!" in rest:
+            digest, overlay_text = rest.split("!", 1)
+        else:
+            digest = rest
+        digest = digest or None
+    return path, digest, parse_overlay(overlay_text)
 
 
 def split_token(token: str) -> Tuple[str, Optional[str]]:
     """Split an app token into ``(path, hash-or-None)``."""
-    if "#" in token:
-        path, digest = token.rsplit("#", 1)
-        return path, digest
-    return token, None
+    path, digest, _ = parse_token(token)
+    return path, digest
 
 
 def resolve_external(token: str) -> ExternalWorkload:
-    """Load (and memoize) the workload an app token points at.
+    """Load (and memoize) the workload an app token points at, with the
+    token's overlay (if any) applied.
 
     Raises :class:`~repro.errors.ConfigurationError` when the file's
     content hash no longer matches the token — the guard that keeps a
     content-addressed cache entry from being recomputed against a
-    different graph than the one that named it.
+    different graph than the one that named it. (The hash pins the raw
+    file text; overlays transform the loaded graph, never the hash.)
     """
     hit = _loaded.get(token)
     if hit is not None:
         return hit
-    path, digest = split_token(token)
-    workload = load_workload(path)
+    path, digest, overlay = parse_token(token)
+    workload = load_workload(path, bridge=overlay.bridge)
     if digest is not None and workload.content_hash[:_HASH_LEN] != digest:
         raise ConfigurationError(
             f"external workload {path!r} changed on disk: token pins "
@@ -101,6 +134,7 @@ def resolve_external(token: str) -> ExternalWorkload:
             f"{workload.content_hash[:_HASH_LEN]} — rebuild the cell "
             f"(external_cell) to schedule the new content"
         )
+    workload = apply_overlay(workload, overlay)
     _loaded[token] = workload
     return workload
 
@@ -116,6 +150,7 @@ def external_cell(
     duplex: str = "half",
     bandwidth_skew: float = 1.0,
     workload: Optional[ExternalWorkload] = None,
+    overlay: Optional[Overlay] = None,
 ) -> "Cell":
     """Build the experiment cell that schedules a graph file.
 
@@ -126,14 +161,27 @@ def external_cell(
     ignored at bind time); scalar workloads default to 16 processors
     like the generated suites. External cells always carry
     ``granularity=1.0`` — the file's communication costs are taken
-    verbatim, never rescaled.
+    verbatim unless an ``overlay`` transforms them, and every overlay
+    parameter rides inside the app token (so inside the cache key).
     """
     # imported here, not at module level: experiments.runner imports
     # this module, so a top-level config import would be circular
     from repro.experiments.config import Cell
 
     if workload is None:
-        workload = load_workload(path)
+        workload = load_workload(
+            path, bridge=overlay.bridge if overlay is not None else "none"
+        )
+    if (
+        overlay is not None
+        and overlay.het_range is not None
+        and workload.n_procs is None
+    ):
+        raise ConfigurationError(
+            f"{path!r} carries scalar costs; the overlay heterogeneity "
+            f"re-sample only applies to per-processor cost vectors — "
+            f"sweep scalar files through het_lo/het_hi instead"
+        )
     if workload.n_procs is not None:
         if n_procs is not None and n_procs != workload.n_procs:
             raise ConfigurationError(
@@ -145,7 +193,7 @@ def external_cell(
         n_procs = 16
     return Cell(
         suite=EXTERNAL_SUITE,
-        app=app_token(path, workload),
+        app=app_token(path, workload, overlay),
         size=workload.graph.n_tasks,
         granularity=1.0,
         topology=topology,

@@ -63,6 +63,18 @@ class TestRegistriesAgree:
         assert _flag_choices(sub["convert"], "--from") == list(format_names())
         assert _flag_choices(sub["convert"], "--to") == list(format_names())
 
+    def test_corpus_cli_choices_come_from_registries(self):
+        corpus = _subparsers(build_parser())["corpus"]
+        commands = _subparsers(corpus)
+        assert list(commands) == ["scan", "ls", "bench", "report"]
+        for name in ("bench", "report"):
+            assert _flag_choices(commands[name], "--topologies") == list(
+                TOPOLOGY_NAMES
+            )
+            assert _flag_choices(commands[name], "--algorithms") == list(
+                ALGORITHM_NAMES
+            )
+
 
 class TestReadme:
     def test_readme_flag_lists_match_cli(self):
@@ -83,6 +95,13 @@ class TestReadme:
         readme = _read("README.md")
         assert "ARCHITECTURE.md" in readme
         assert "EXPERIMENTS.md" in readme
+
+    def test_readme_formats_table_lists_every_registered_format(self):
+        readme = _read("README.md")
+        for name in format_names():
+            assert f"| `{name}` |" in readme, (
+                f"README formats table does not list {name!r}"
+            )
 
 
 class TestArchitecture:
@@ -121,7 +140,7 @@ class TestExperimentsSection7:
 
     def test_documented_corpus_files_ship(self):
         text = _read("EXPERIMENTS.md")
-        section = text.split("## 7.")[1]
+        section = text.split("## 7.")[1].split("## 8.")[0]
         for name in re.findall(r"`([\w./]+\.(?:stg|dot|json))`", section):
             base = os.path.basename(name)
             if base.startswith("forkjoin.trace"):
@@ -129,3 +148,31 @@ class TestExperimentsSection7:
             assert os.path.exists(
                 os.path.join(REPO_ROOT, "examples", "graphs", base)
             ), f"EXPERIMENTS §7 mentions {base} but it is not bundled"
+
+
+class TestExperimentsSection8:
+    def test_section_exists_with_commands(self):
+        text = _read("EXPERIMENTS.md")
+        assert "## 8. Corpus-scale benchmarking" in text
+        assert "repro corpus bench" in text
+        assert "examples/corpus_bench.py" in text
+
+    def test_documented_corpus_files_ship(self):
+        text = _read("EXPERIMENTS.md")
+        section = text.split("## 8.")[1]
+        for name in re.findall(r"`([\w./]+\.(?:stg|dot|json|dax))`", section):
+            assert os.path.exists(
+                os.path.join(REPO_ROOT, "examples", "corpus",
+                             os.path.basename(name))
+            ), f"EXPERIMENTS §8 mentions {name} but it is not bundled"
+
+    def test_bundled_corpus_is_what_section_8_claims(self):
+        from repro.corpus.manifest import scan_corpus
+
+        manifest = scan_corpus(os.path.join(REPO_ROOT, "examples", "corpus"))
+        formats = {e.fmt for e in manifest.entries}
+        # the mini-corpus must keep covering the two new importers, the
+        # dummy-bridged STG repair path, and the vector-trace path
+        assert {"dax", "wfcommons", "stg", "trace"} <= formats
+        assert any(e.needs_bridge for e in manifest.entries)
+        assert any(e.n_procs for e in manifest.entries)

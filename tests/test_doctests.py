@@ -21,6 +21,14 @@ CURATED_MODULES = [
     "repro.workloads.base",
     "repro.workloads.external",
     "repro.workloads.suites",
+    "repro.corpus.overlays",
+    # the core/baselines scheduler entry points (ROADMAP: doctest
+    # coverage growth) — every schedule_* runs a real 12-task example
+    "repro.core.bsa",
+    "repro.baselines.dls",
+    "repro.baselines.heft",
+    "repro.baselines.cpop",
+    "repro.baselines.etf",
 ]
 
 

@@ -483,3 +483,124 @@ class TestGraphsEqual:
 
         assert not graphs_equal(base, base.copy(name="y"), check_name=True)
         assert graphs_equal(base, base.copy(name="y"), check_name=False)
+
+
+# A published-style Kasahara STG whose zero-cost dummies are the only
+# connectors between two otherwise-independent chains: stripping them
+# (required) leaves a disconnected graph.
+DUMMY_BRIDGED_STG = """\
+6
+0 0 0
+1 10 1 0
+2 20 1 1
+3 30 1 0
+4 40 1 3
+5 0 2 2 4
+"""
+
+
+class TestBridgePolicy:
+    def test_dummy_bridged_stg_fails_strict_import(self):
+        with pytest.raises(DisconnectedGraphError):
+            loads_workload(DUMMY_BRIDGED_STG, "stg")
+
+    def test_epsilon_bridge_repairs_the_import(self):
+        wl = loads_workload(DUMMY_BRIDGED_STG, "stg", bridge="epsilon")
+        g = wl.graph
+        assert g.tasks() == [1, 2, 3, 4]  # dummies stripped
+        # one connector edge from the hub (first source, task 1) to the
+        # first source of the second component (task 3), at zero cost
+        assert g.has_edge(1, 3)
+        assert g.comm_cost(1, 3) == 0.0
+        assert g.n_edges == 3
+        from repro.graph.validation import check_connected
+
+        check_connected(g)  # must not raise
+
+    def test_bridge_is_noop_on_connected_graphs(self):
+        from repro.graph.interchange import bridge_components
+
+        wl = loads_workload("2\n0 10 0\n1 20 1 0\n", "stg")
+        assert bridge_components(wl.graph) is wl.graph
+        # and the load path keeps the very same workload object
+        assert loads_workload(
+            "2\n0 10 0\n1 20 1 0\n", "stg", bridge="epsilon"
+        ).graph.n_edges == 1
+
+    def test_bridge_many_components(self):
+        from repro.graph.interchange import bridge_components
+        from repro.graph.validation import weak_components
+
+        g = TaskGraph("five")
+        for i in range(5):
+            g.add_task(i, float(i + 1))
+        bridged = bridge_components(g)
+        assert len(weak_components(bridged)) == 1
+        assert bridged.n_edges == 4
+        assert all(u == 0 for u, _ in bridged.edges())  # hub is task 0
+        bridged.topological_order()  # still a DAG
+
+    def test_bridging_a_cyclic_component_fails_cleanly(self):
+        # bridging runs before the DAG check; a cyclic component has no
+        # source, which must surface as GraphError, not StopIteration
+        text = ('digraph g { a [cost=1]; b [cost=1]; c [cost=1]; '
+                'a -> b [comm=1]; b -> a [comm=1]; }')
+        with pytest.raises(GraphError, match="cycle"):
+            loads_workload(text, "dot", bridge="epsilon")
+
+    def test_unknown_bridge_policy_rejected(self):
+        with pytest.raises(GraphError, match="bridge policy"):
+            loads_workload(DUMMY_BRIDGED_STG, "stg", bridge="glue")
+
+    def test_negative_bridge_comm_rejected(self):
+        from repro.graph.interchange import bridge_components
+
+        g = TaskGraph()
+        g.add_task(0, 1.0)
+        g.add_task(1, 1.0)
+        with pytest.raises(GraphError, match=">= 0"):
+            bridge_components(g, comm=-1.0)
+
+    def test_bundled_fixture_schedules_under_all_modes(self):
+        """The examples/corpus fixture: bridged import schedules
+        validator-clean (zero-cost bridge edges exercise the engines'
+        zero-cost-edge guards in every mode)."""
+        from repro.experiments.runner import _SCHEDULERS, build_cell_system
+        from repro.schedule.io import schedule_to_json
+        from repro.schedule.validator import validate_schedule
+        from repro.util.intervals import hotpath_mode, set_hotpath_mode
+        from repro.workloads.external import external_cell
+        from repro.corpus.overlays import Overlay
+
+        path = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "examples", "corpus", "bridged_chains.stg",
+        )
+        initial = hotpath_mode()
+        try:
+            blobs = {}
+            for mode in ("legacy", "fast", "incremental"):
+                set_hotpath_mode(mode)
+                cell = external_cell(
+                    path, algorithm="bsa", topology="ring", n_procs=4,
+                    overlay=Overlay(bridge="epsilon"),
+                )
+                schedule = _SCHEDULERS["bsa"](build_cell_system(cell))
+                validate_schedule(schedule)
+                blobs[mode] = schedule_to_json(schedule)
+        finally:
+            set_hotpath_mode(initial)
+        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+
+    def test_convert_cli_bridge(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = str(tmp_path / "dummy.stg")
+        with open(src, "w") as fh:
+            fh.write(DUMMY_BRIDGED_STG)
+        dst = str(tmp_path / "out.trace.json")
+        assert main(["convert", src, dst]) == 2
+        assert "not weakly connected" in capsys.readouterr().err
+        assert main(["convert", src, dst, "--bridge", "epsilon"]) == 0
+        wl = load_workload(dst)
+        assert wl.graph.has_edge(1, 3)

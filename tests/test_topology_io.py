@@ -1,0 +1,120 @@
+"""Topology interchange: the sniffed JSON file format and its CLI
+surfaces (`repro convert --topology`, `repro schedule --topology-file`).
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import TopologyError
+from repro.network.topology import (
+    LinkSpec,
+    Topology,
+    apply_link_model,
+    fat_tree,
+    is_topology_json,
+    load_topology,
+    ring,
+    save_topology,
+    topology_from_json,
+    topology_to_json,
+)
+
+
+class TestJsonRoundTrip:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            ring(4),
+            fat_tree(8),  # non-default bandwidths toward the root
+            apply_link_model(ring(6), duplex="full", bandwidth_skew=3.0, seed=1),
+            Topology(2, [(0, 1)], name="tiny",
+                     link_specs={(0, 1): LinkSpec(2.5, "full")}),
+        ],
+    )
+    def test_round_trip_preserves_everything(self, topology):
+        back = topology_from_json(topology_to_json(topology))
+        assert back.to_dict() == topology.to_dict()
+        assert back.name == topology.name
+        for a, b in topology.links:
+            assert back.spec(a, b) == topology.spec(a, b)
+
+    def test_file_round_trip(self, tmp_path):
+        path = str(tmp_path / "net.topo.json")
+        save_topology(fat_tree(8), path)
+        back = load_topology(path)
+        assert back.to_dict() == fat_tree(8).to_dict()
+
+    def test_sniffer(self):
+        assert is_topology_json(topology_to_json(ring(4)))
+        assert not is_topology_json("digraph g { }")
+        assert not is_topology_json('{"tasks": [], "version": 1}')
+        assert not is_topology_json("{not json")
+
+    @pytest.mark.parametrize(
+        "text, match",
+        [
+            ("{", "not valid JSON"),
+            ("{}", "not a repro-topology"),
+            ('{"format": "other"}', "not a repro-topology"),
+            ('{"format": "repro-topology", "version": 2}', "version"),
+            ('{"format": "repro-topology", "version": 1}', "n_procs"),
+        ],
+    )
+    def test_error_paths(self, text, match):
+        with pytest.raises(TopologyError, match=match):
+            topology_from_json(text)
+
+    def test_structural_validation_still_applies(self):
+        # hand-edited file describing a disconnected network is rejected
+        # by the Topology constructor itself
+        text = ('{"format": "repro-topology", "version": 1, "n_procs": 4, '
+                '"links": [[0, 1]]}')
+        with pytest.raises(TopologyError):
+            topology_from_json(text)
+
+
+class TestCli:
+    def test_convert_topology_normalizes(self, tmp_path, capsys):
+        src = str(tmp_path / "src.json")
+        dst = str(tmp_path / "dst.json")
+        save_topology(fat_tree(8), src)
+        assert main(["convert", "--topology", src, dst]) == 0
+        assert "8 processors" in capsys.readouterr().out
+        assert load_topology(dst).to_dict() == fat_tree(8).to_dict()
+
+    def test_convert_topology_rejects_graph_file(self, tmp_path, capsys):
+        src = str(tmp_path / "graph.json")
+        with open(src, "w") as fh:
+            fh.write('{"format": "repro-trace", "version": 1}')
+        assert main(["convert", "--topology", src, str(tmp_path / "o")]) == 2
+        assert "convert failed" in capsys.readouterr().err
+
+    def test_schedule_with_topology_file(self, tmp_path, capsys):
+        path = str(tmp_path / "net.json")
+        save_topology(ring(4), path)
+        assert main(["schedule", "--topology-file", path, "-a", "heft",
+                     "-n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "platform : ring4" in out
+
+    def test_schedule_topology_file_with_graph(self, tmp_path, capsys):
+        path = str(tmp_path / "net.json")
+        save_topology(ring(8), path)
+        assert main(["schedule", "--topology-file", path, "-a", "dls",
+                     "--graph", "examples/corpus/fft8.trace.json"]) == 0
+        out = capsys.readouterr().out
+        assert "platform : ring8" in out
+
+    def test_schedule_topology_file_procs_mismatch(self, tmp_path, capsys):
+        path = str(tmp_path / "net.json")
+        save_topology(ring(4), path)
+        assert main(["schedule", "--topology-file", path, "-p", "8"]) == 2
+        assert "cannot apply" in capsys.readouterr().err
+
+    def test_schedule_topology_file_vector_mismatch(self, tmp_path, capsys):
+        # the 8-proc trace cannot bind to a 4-proc platform file
+        path = str(tmp_path / "net.json")
+        save_topology(ring(4), path)
+        assert main(["schedule", "--topology-file", path,
+                     "--graph", "examples/corpus/fft8.trace.json"]) == 2
+        assert "cannot schedule" in capsys.readouterr().err
