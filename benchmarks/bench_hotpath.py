@@ -213,6 +213,28 @@ def run_settle_microbench(preset: str, reps: int = 3) -> Dict:
     }
 
 
+def effective_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the host's cores, which overstates what a
+    cgroup-limited CI container or an affinity-pinned process can use —
+    and a jobs-scaling leg on one usable core measures only fork
+    overhead. Order: ``process_cpu_count`` (3.13+, affinity-aware) →
+    ``sched_getaffinity`` → ``cpu_count`` → 1.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        n = getter()
+        if n:
+            return n
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def run_jobs_scaling(cells: List[Cell], jobs: int) -> Dict:
     """Wall clock of the parallel runner at --jobs 1 vs --jobs N."""
     timings = {}
@@ -245,8 +267,11 @@ def main(argv=None) -> int:
     report = {
         "bench": "hotpath",
         "preset": args.preset,
-        # scaling numbers are only meaningful relative to available cores
+        # scaling numbers are only meaningful relative to available cores;
+        # host_cpus stays for schema compatibility, effective_cpus is
+        # what the process can actually use (affinity/cgroup-aware)
         "host_cpus": os.cpu_count(),
+        "effective_cpus": effective_cpus(),
         "single_process": run_single_process(cells),
     }
     sp = report["single_process"]
@@ -261,11 +286,22 @@ def main(argv=None) -> int:
           f"= {mb['speedup']}x, identical={mb['identical_schedules']}")
 
     if args.jobs and args.jobs > 1:
-        report["jobs_scaling"] = run_jobs_scaling(cells, args.jobs)
-        js = report["jobs_scaling"]
-        print(f"parallel runner: jobs=1 {js['serial_s']}s -> jobs={js['jobs']} "
-              f"{js['parallel_s']}s = {js['speedup']}x "
-              f"(efficiency {js['efficiency']:.0%})")
+        usable = report["effective_cpus"]
+        if usable < 2:
+            report["jobs_scaling"] = {
+                "jobs": args.jobs,
+                "skipped": True,
+                "reason": f"only {usable} usable CPU "
+                          f"(host reports {report['host_cpus']}); "
+                          f"parallel timing would measure fork overhead",
+            }
+            print(f"parallel runner: skipped ({report['jobs_scaling']['reason']})")
+        else:
+            report["jobs_scaling"] = run_jobs_scaling(cells, args.jobs)
+            js = report["jobs_scaling"]
+            print(f"parallel runner: jobs=1 {js['serial_s']}s -> jobs={js['jobs']} "
+                  f"{js['parallel_s']}s = {js['speedup']}x "
+                  f"(efficiency {js['efficiency']:.0%})")
 
     out = os.path.abspath(args.out)
     with open(out, "w") as fh:

@@ -4,6 +4,12 @@ Commands
 --------
 * ``schedule``   — schedule one workload (generated, or an external
   graph file via ``--graph``) and print results;
+* ``simulate``   — event-driven rescheduling: schedule a workload, then
+  drive it through arrivals / processor failures / link failures (a
+  seeded ``--scenario`` token or an ``--events`` trace JSON), printing
+  repair-vs-replan quality per event;
+* ``replay``     — audit a schedule bundle written by ``--export-bundle``
+  (re-validate and summarize it);
 * ``example``    — run the paper's worked example with a Gantt chart;
 * ``run``        — execute an experiment sweep through the parallel
   engine (``--jobs N``) with progress and a summary report;
@@ -159,6 +165,150 @@ def _cmd_schedule(args) -> int:
     print(f"comm     : {metrics.total_comm_cost:.1f} over {metrics.n_hops} hops")
     print(f"speedup  : {metrics.speedup:.2f}  (efficiency {metrics.efficiency:.2%})")
     if args.gantt:
+        print()
+        print(render_gantt(sched, height=args.gantt_height))
+    if args.export_bundle:
+        from repro.schedule.io import relabel_schedule, write_bundle
+
+        write_bundle(relabel_schedule(sched), args.export_bundle, indent=2)
+        print(f"bundle written to {args.export_bundle} (audit with "
+              f"`repro replay {args.export_bundle}`)", file=sys.stderr)
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from repro.errors import ReproError
+    from repro.experiments.config import Cell
+    from repro.experiments.runner import (
+        _SCHEDULERS,
+        build_cell_system,
+        build_topology,
+    )
+    from repro.core.bsa import BSAOptions, schedule_bsa
+    from repro.dynamic import (
+        FailureInjector,
+        parse_scenario,
+        read_event_trace,
+        simulate,
+    )
+    from repro.schedule.validator import validate_schedule
+
+    try:
+        if args.graph:
+            from repro.graph.interchange import load_workload
+            from repro.network.topology import apply_link_model
+
+            workload = load_workload(args.graph, bridge=args.bridge)
+            if (workload.n_procs is not None and args.procs is not None
+                    and args.procs != workload.n_procs):
+                raise ReproError(
+                    f"{args.graph} carries {workload.n_procs}-processor "
+                    f"cost vectors; --procs {args.procs} cannot apply"
+                )
+            n_procs = (
+                workload.n_procs if workload.n_procs is not None
+                else args.procs if args.procs is not None
+                else 16
+            )
+            topology = build_topology(args.topology, n_procs, seed=args.seed)
+            topology = apply_link_model(
+                topology, duplex=args.duplex,
+                bandwidth_skew=args.bandwidth_skew, seed=args.seed,
+            )
+            system = workload.bind(topology, seed=args.seed)
+        else:
+            suite = "regular" if args.workload != "random" else "random"
+            cell = Cell(
+                suite=suite, app=args.workload, size=args.size,
+                granularity=args.granularity, topology=args.topology,
+                algorithm=args.algorithm,
+                n_procs=args.procs if args.procs is not None else 16,
+                graph_seed=args.seed, system_seed=args.seed,
+                duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
+            )
+            system = build_cell_system(cell)
+        if args.algorithm == "bsa":
+            sched = schedule_bsa(system, BSAOptions(seed=args.seed))
+        else:
+            sched = _SCHEDULERS[args.algorithm](system)
+        validate_schedule(sched)
+        static_sl = sched.schedule_length()
+        if args.events:
+            events = read_event_trace(args.events)
+        else:
+            scenario = parse_scenario(args.scenario)
+            events = FailureInjector(system, scenario, static_sl).events()
+        sim = simulate(sched, events, compare_replan=not args.no_replan)
+    except (ReproError, OSError) as exc:
+        print(f"simulate failed: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"workload : {system.graph.name} ({system.graph.n_tasks} tasks, "
+          f"{system.graph.n_edges} edges)")
+    print(f"platform : {system.topology.name}; algorithm {sched.algorithm}")
+    source = args.events if args.events else f"scenario {args.scenario}"
+    print(f"static SL: {static_sl:.1f}; {len(sim.records)} event(s) from {source}")
+    for r in sim.records:
+        line = (f"  [{r.index}] t={r.time:<9.1f} {r.etype:<12} -> "
+                f"{r.strategy:<6} moved={r.tasks_moved:<3} "
+                f"rerouted={r.edges_rerouted:<3} SL={r.sl_after:.1f}")
+        if r.sl_replan is not None:
+            line += (f"  (replan SL {r.sl_replan:.1f}, "
+                     f"ratio {r.sl_after / r.sl_replan:.3f})")
+        print(line)
+    print(f"final SL : {sim.schedule.schedule_length():.1f} "
+          f"(validator-clean, committed prefix intact)")
+    # wall-clock is machine telemetry, not part of the deterministic output
+    if sim.timings:
+        note = f"repair wall {sim.repair_wall_s * 1e3:.1f} ms"
+        if sim.replan_wall_s is not None:
+            note += f", replan oracle wall {sim.replan_wall_s * 1e3:.1f} ms"
+        print(note, file=sys.stderr)
+    if args.log:
+        with open(args.log, "w") as fh:
+            fh.write(sim.log_json())
+        print(f"event log written to {args.log}", file=sys.stderr)
+    if args.export_bundle:
+        from repro.schedule.io import relabel_schedule, write_bundle
+
+        write_bundle(relabel_schedule(sim.schedule), args.export_bundle, indent=2)
+        print(f"bundle written to {args.export_bundle} (audit with "
+              f"`repro replay {args.export_bundle}`)", file=sys.stderr)
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.errors import ReproError
+    from repro.schedule.io import read_bundle
+    from repro.schedule.metrics import compute_metrics
+    from repro.schedule.validator import schedule_violations
+
+    try:
+        sched = read_bundle(args.bundle)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"replay failed: {exc}", file=sys.stderr)
+        return 2
+    violations = schedule_violations(sched)
+    if violations:
+        print(f"replay: {args.bundle} fails the audit with "
+              f"{len(violations)} violation(s):", file=sys.stderr)
+        for v in violations[:10]:
+            print(f"  - {v}", file=sys.stderr)
+        if len(violations) > 10:
+            print(f"  (+{len(violations) - 10} more)", file=sys.stderr)
+        return 1
+    system = sched.system
+    metrics = compute_metrics(sched)
+    print(f"replay OK: {args.bundle}")
+    print(f"workload : {system.graph.name} ({system.graph.n_tasks} tasks, "
+          f"{system.graph.n_edges} edges)")
+    print(f"platform : {system.topology.name}")
+    print(f"algorithm: {sched.algorithm}")
+    print(f"SL       : {metrics.schedule_length:.1f}")
+    print(f"comm     : {metrics.total_comm_cost:.1f} over {metrics.n_hops} hops")
+    if args.gantt:
+        from repro.schedule.gantt import render_gantt
+
         print()
         print(render_gantt(sched, height=args.gantt_height))
     return 0
@@ -511,7 +661,60 @@ def build_parser() -> argparse.ArgumentParser:
                         "duration is comm cost / bandwidth")
     p.add_argument("--gantt", action="store_true", help="print an ASCII Gantt chart")
     p.add_argument("--gantt-height", type=int, default=40)
+    p.add_argument("--export-bundle", metavar="FILE", default=None,
+                   help="write the validated schedule as a self-contained "
+                        "JSON bundle (audit it with `repro replay`)")
     p.set_defaults(func=_cmd_schedule)
+
+    p = sub.add_parser(
+        "simulate",
+        help="event-driven rescheduling: arrivals and failures against a "
+             "static schedule, with prefix-preserving repair",
+    )
+    p.add_argument("--algorithm", "-a", default="bsa",
+                   choices=list(ALGORITHM_NAMES))
+    p.add_argument("--workload", "-w", default="random",
+                   choices=["random", "gauss", "lu", "laplace", "mva"])
+    p.add_argument("--graph", metavar="FILE", default=None,
+                   help="simulate on this task-graph file instead of a "
+                        "generated workload")
+    p.add_argument("--bridge", default="none", choices=["none", "epsilon"],
+                   help="repair a disconnected --graph import")
+    p.add_argument("--size", "-n", type=int, default=100)
+    p.add_argument("--granularity", "-g", type=float, default=1.0)
+    p.add_argument("--topology", "-t", default="hypercube",
+                   choices=list(TOPOLOGY_NAMES))
+    p.add_argument("--procs", "-p", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duplex", default="half", choices=["half", "full"])
+    p.add_argument("--bandwidth-skew", type=float, default=1.0)
+    p.add_argument("--scenario", default="f1a1s0",
+                   help="seeded injection token "
+                        "f<proc-failures>l<link-failures>a<arrivals>s<seed> "
+                        "(default: f1a1s0); ignored with --events")
+    p.add_argument("--events", metavar="FILE", default=None,
+                   help="read events from this repro-event-trace JSON file "
+                        "instead of injecting --scenario")
+    p.add_argument("--no-replan", action="store_true",
+                   help="skip the full-tail replan oracle (faster; no "
+                        "repair-vs-replan quality columns)")
+    p.add_argument("--log", metavar="FILE", default=None,
+                   help="write the deterministic event log JSON to FILE")
+    p.add_argument("--export-bundle", metavar="FILE", default=None,
+                   help="write the final schedule as a JSON bundle "
+                        "(audit it with `repro replay`)")
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser(
+        "replay",
+        help="re-validate and summarize a schedule bundle "
+             "(from `--export-bundle`)",
+    )
+    p.add_argument("bundle", help="schedule bundle JSON file")
+    p.add_argument("--gantt", action="store_true",
+                   help="print an ASCII Gantt chart")
+    p.add_argument("--gantt-height", type=int, default=40)
+    p.set_defaults(func=_cmd_replay)
 
     p = sub.add_parser("example", help="run the paper's worked example")
     p.set_defaults(func=_cmd_example)

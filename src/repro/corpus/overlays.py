@@ -161,6 +161,15 @@ def parse_overlay(text: str) -> Overlay:
     True
     >>> parse_overlay("")
     Overlay(bridge='none', ccr=None, granularity=1.0, het_range=None, het_seed=0)
+
+    Repeated parts are rejected rather than last-wins — ``"ccr2,ccr3"``
+    is always a typo, and silently dropping ``ccr2`` would run (and
+    cache) a different experiment than the one named:
+
+    >>> parse_overlay("ccr2,ccr3")
+    Traceback (most recent call last):
+      ...
+    repro.errors.ConfigurationError: duplicate overlay token part 'ccr3' (ccr already set)
     """
     bridge = "none"
     ccr: Optional[float] = None
@@ -178,17 +187,30 @@ def parse_overlay(text: str) -> Overlay:
                 f"malformed overlay token part {part!r}"
             ) from None
 
+    seen = set()
+
+    def _once(kind: str, part: str) -> None:
+        if kind in seen:
+            raise ConfigurationError(
+                f"duplicate overlay token part {part!r} ({kind} already set)"
+            )
+        seen.add(kind)
+
     for part in text.split(","):
         if part == "bridge":
+            _once("bridge", part)
             bridge = "epsilon"
         elif part.startswith("ccr"):
+            _once("ccr", part)
             ccr = _float(part[3:], part)
         elif part.startswith("gran"):
+            _once("gran", part)
             granularity = _float(part[4:], part)
         elif part.startswith("het"):
             m = _HET_RE.match(part)
             if not m:
                 raise ConfigurationError(f"malformed overlay token part {part!r}")
+            _once("het", part)
             het_range = (_float(m.group(1), part), _float(m.group(2), part))
             het_seed = int(m.group(3))
         else:

@@ -1,0 +1,310 @@
+"""Event-driven rescheduling over a virtual clock.
+
+:func:`simulate` advances a committed-prefix frontier over a static
+schedule: at each event time ``T`` everything that started before ``T``
+is committed (byte-immutable), the event mutates the world (new task,
+dead processor, dead link), and the tail is repaired —
+:func:`~repro.dynamic.repair.cone_repair` first, full
+:func:`~repro.dynamic.replan.replan_tail` as fallback.  When
+``compare_replan`` is on, the replan oracle also runs on a throwaway
+copy so every event reports repair-vs-replan quality (makespan ratio,
+tasks moved, wall-clock).
+
+Two invariants are enforced after every event (violations raise):
+
+* the final schedule is validator-clean (checked inside the repair
+  transaction before it commits);
+* the committed prefix is *byte-identical* — every frozen slot and hop
+  has exactly the ``(proc, start, finish)`` it had before the event.
+
+The event log (:meth:`SimulationResult.event_log`) contains only
+deterministic fields — wall-clock timings live in
+:attr:`SimulationResult.timings` — so two runs of the same scenario
+produce bit-identical logs regardless of machine, hotpath mode, or
+``--jobs`` fan-out.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError, SchedulingError
+from repro.dynamic.events import (
+    Event,
+    FailureInjector,
+    LinkFailure,
+    ProcFailure,
+    Scenario,
+    TaskArrival,
+    parse_scenario,
+    sort_events,
+)
+from repro.dynamic.repair import cone_repair, needs_reroute
+from repro.dynamic.replan import replan_tail
+from repro.network.topology import link_id
+from repro.schedule.schedule import Schedule
+
+__all__ = [
+    "EventRecord",
+    "SimulationResult",
+    "prefix_fingerprint",
+    "affected_work",
+    "simulate",
+    "simulate_scenario",
+    "EVENT_LOG_FORMAT",
+    "EVENT_LOG_VERSION",
+]
+
+EVENT_LOG_FORMAT = "repro-event-log"
+EVENT_LOG_VERSION = 1
+
+
+def prefix_fingerprint(sched: Schedule, frontier: float):
+    """Value fingerprint of the committed prefix (``start < frontier``).
+
+    Sorted by ``repr`` so mixed int/str task ids compare, and so the
+    fingerprint is independent of dict insertion positions — repairs
+    may legitimately re-create a frozen hop at a different position in
+    its link's order list, but never with different values.
+    """
+    slots = sorted(
+        (repr(t), s.proc, s.start, s.finish)
+        for t, s in sched.slots.items()
+        if s.start < frontier
+    )
+    hops = sorted(
+        (repr(e), h.src, h.dst, h.start, h.finish)
+        for e, r in sched.routes.items()
+        for h in r.hops
+        if h.start < frontier
+    )
+    return (tuple(slots), tuple(hops))
+
+
+def _apply_arrival(system, ev: TaskArrival) -> None:
+    """Mutate graph + system for a task arrival (schedule untouched)."""
+    graph = system.graph
+    if graph.has_task(ev.task):
+        raise ConfigurationError(
+            f"arrival at t={ev.time:g}: task {ev.task!r} already exists"
+        )
+    graph.add_task(ev.task, ev.cost)
+    for u, comm in ev.deps:
+        graph.add_edge(u, ev.task, comm)
+    row = ev.exec_row if ev.exec_row is not None else (ev.cost,) * system.n_procs
+    system.add_task_costs(ev.task, row)
+
+
+def affected_work(sched: Schedule, ev: Event, frontier: float,
+                  dead_procs, dead_links):
+    """The cone an event displaces: ``(moves, reroutes)``.
+
+    ``moves`` are tasks to re-place, ordered ``(old start, graph
+    index)`` so producers precede consumers; ``reroutes`` are
+    ``(edge, first-bad-hop-index)`` pairs for routes of *unmoved*
+    tasks whose tail hops touch a dead resource.  A moved task's own
+    routes are rebuilt by its placement, so its edges are excluded.
+    """
+    graph = sched.system.graph
+    if isinstance(ev, TaskArrival):
+        return [ev.task], []
+    moves: List = []
+    if isinstance(ev, ProcFailure):
+        moves = [
+            t for t in sched.proc_order[ev.proc]
+            if sched.slots[t].start >= frontier
+        ]
+        moves.sort(key=lambda t: (sched.slots[t].start, graph.task_index(t)))
+    moving = set(moves)
+    reroutes: List[Tuple] = []
+    for e in graph.edges():
+        u, v = e
+        if u in moving or v in moving:
+            continue
+        route = sched.routes.get(e)
+        if route is None or not route.hops:
+            continue
+        k = needs_reroute(route, frontier, dead_procs, dead_links)
+        if k is not None:
+            reroutes.append((e, k))
+    return moves, reroutes
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """Deterministic per-event outcome (no wall-clock fields)."""
+
+    index: int
+    etype: str
+    time: float
+    strategy: str  # "repair" | "replan" (fallback)
+    fallback_error: Optional[str]
+    tasks_moved: int
+    edges_rerouted: int
+    sl_after: float
+    prefix_slots: int
+    prefix_hops: int
+    prefix_intact: bool
+    sl_replan: Optional[float] = None
+    replan_moved: Optional[int] = None
+
+    def to_dict(self) -> Dict:
+        d = {
+            "index": self.index,
+            "type": self.etype,
+            "time": self.time,
+            "strategy": self.strategy,
+            "tasks_moved": self.tasks_moved,
+            "edges_rerouted": self.edges_rerouted,
+            "sl_after": self.sl_after,
+            "prefix_slots": self.prefix_slots,
+            "prefix_hops": self.prefix_hops,
+            "prefix_intact": self.prefix_intact,
+        }
+        if self.fallback_error is not None:
+            d["fallback_error"] = self.fallback_error
+        if self.sl_replan is not None:
+            d["sl_replan"] = self.sl_replan
+            d["sl_ratio"] = self.sl_after / self.sl_replan
+            d["replan_moved"] = self.replan_moved
+        return d
+
+
+@dataclass
+class SimulationResult:
+    schedule: Schedule
+    records: List[EventRecord] = field(default_factory=list)
+    #: per-event wall-clock: {"repair_s": float, "replan_s": float|None}
+    timings: List[Dict] = field(default_factory=list)
+
+    def event_log(self) -> Dict:
+        """Deterministic log document (safe to ``cmp`` across runs)."""
+        return {
+            "format": EVENT_LOG_FORMAT,
+            "version": EVENT_LOG_VERSION,
+            "n_events": len(self.records),
+            "final_sl": self.schedule.schedule_length(),
+            "events": [r.to_dict() for r in self.records],
+        }
+
+    def log_json(self, indent: int = 2) -> str:
+        return json.dumps(self.event_log(), indent=indent) + "\n"
+
+    @property
+    def repair_wall_s(self) -> float:
+        return sum(t["repair_s"] for t in self.timings)
+
+    @property
+    def replan_wall_s(self) -> Optional[float]:
+        vals = [t["replan_s"] for t in self.timings if t["replan_s"] is not None]
+        return sum(vals) if vals else None
+
+
+def simulate(schedule: Schedule, events: Sequence[Event],
+             compare_replan: bool = True) -> SimulationResult:
+    """Run ``events`` (sorted by time) against ``schedule`` in place.
+
+    Returns the final schedule plus per-event records.  Raises
+    :class:`~repro.errors.SchedulingError` if an event can neither be
+    repaired nor replanned, or if a repair ever touches the committed
+    prefix (which would be an engine bug — the invariant suite runs
+    this check after every event).
+    """
+    sched = schedule
+    system = sched.system
+    dead_procs: set = set()
+    dead_links: set = set()
+    result = SimulationResult(schedule=sched)
+
+    for index, ev in enumerate(sort_events(events)):
+        frontier = ev.time
+        if frontier < 0:
+            raise ConfigurationError(f"event {index} has negative time {frontier}")
+        if isinstance(ev, TaskArrival):
+            _apply_arrival(system, ev)
+        elif isinstance(ev, ProcFailure):
+            if ev.proc not in system.topology.processors:
+                raise ConfigurationError(f"unknown processor {ev.proc}")
+            if ev.proc in dead_procs:
+                raise ConfigurationError(f"processor {ev.proc} failed twice")
+            dead_procs.add(ev.proc)
+        elif isinstance(ev, LinkFailure):
+            lid = link_id(*ev.link)
+            if not system.topology.has_link(*lid):
+                raise ConfigurationError(f"unknown link {lid}")
+            if lid in dead_links:
+                raise ConfigurationError(f"link {lid} failed twice")
+            dead_links.add(lid)
+        else:
+            raise ConfigurationError(f"unknown event {ev!r}")
+
+        before = prefix_fingerprint(sched, frontier)
+        moves, reroutes = affected_work(sched, ev, frontier, dead_procs, dead_links)
+        oracle = sched.copy() if compare_replan else None
+
+        t0 = perf_counter()
+        res = cone_repair(sched, frontier, moves, reroutes, dead_procs, dead_links)
+        fallback_error = None
+        if not res.ok:
+            fallback_error = res.error
+            res = replan_tail(sched, frontier, dead_procs, dead_links)
+            if not res.ok:
+                raise SchedulingError(
+                    f"event {index} ({ev.kind} at t={frontier:g}) is "
+                    f"unrepairable: {res.error}"
+                )
+        repair_s = perf_counter() - t0
+
+        sl_replan = None
+        replan_moved = None
+        replan_s = None
+        if oracle is not None:
+            t0 = perf_counter()
+            ores = replan_tail(oracle, frontier, dead_procs, dead_links)
+            replan_s = perf_counter() - t0
+            if ores.ok:
+                sl_replan = oracle.schedule_length()
+                replan_moved = len(ores.moved)
+
+        after = prefix_fingerprint(sched, frontier)
+        intact = after == before
+        if not intact:
+            raise SchedulingError(
+                f"event {index} ({ev.kind} at t={frontier:g}): repair "
+                f"mutated the committed prefix"
+            )
+        result.records.append(EventRecord(
+            index=index,
+            etype=ev.kind,
+            time=frontier,
+            strategy=res.strategy,
+            fallback_error=fallback_error,
+            tasks_moved=len(res.moved),
+            edges_rerouted=len(res.rerouted),
+            sl_after=sched.schedule_length(),
+            prefix_slots=len(before[0]),
+            prefix_hops=len(before[1]),
+            prefix_intact=intact,
+            sl_replan=sl_replan,
+            replan_moved=replan_moved,
+        ))
+        result.timings.append({"repair_s": repair_s, "replan_s": replan_s})
+
+    return result
+
+
+def simulate_scenario(system, schedule: Schedule,
+                      scenario: Union[Scenario, str],
+                      compare_replan: bool = True) -> SimulationResult:
+    """Inject a :class:`Scenario`'s events against a static schedule.
+
+    The injection horizon is the static schedule length, so event
+    times land inside the schedule's active window.
+    """
+    scn = parse_scenario(scenario) if isinstance(scenario, str) else scenario
+    horizon = schedule.schedule_length()
+    events = FailureInjector(system, scn, horizon).events()
+    return simulate(schedule, events, compare_replan=compare_replan)

@@ -62,6 +62,11 @@ class Cell:
     #: paper's uniform links; see network.topology.apply_link_model)
     duplex: str = "half"
     bandwidth_skew: float = 1.0
+    #: online-rescheduling scenario token ("" = static cell; e.g.
+    #: "f1a2s0" = 1 processor failure + 2 arrivals, injection seed 0 —
+    #: see repro.dynamic.events.parse_scenario). Scenario cells report
+    #: metrics of the *final* schedule after all events are repaired.
+    scenario: str = ""
 
     def key(self) -> str:
         """Stable cache key (link-model axes appended only when
@@ -74,6 +79,8 @@ class Cell:
         )
         if self.duplex != "half" or self.bandwidth_skew != 1.0:
             base += f"/dx{self.duplex}/bw{self.bandwidth_skew:g}"
+        if self.scenario:
+            base += f"/sc{self.scenario}"
         return base
 
 

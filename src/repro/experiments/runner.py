@@ -56,6 +56,9 @@ class CellResult:
     runtime_s: float
     n_tasks: int
     n_edges: int
+    #: events survived by a scenario cell (0 for static cells; absent
+    #: from pre-existing cache entries, which deserialize to 0)
+    n_events: int = 0
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -208,6 +211,15 @@ def run_cell(
     runtime = time.perf_counter() - t0
     if validate:
         validate_schedule(schedule)
+    n_events = 0
+    if cell.scenario:
+        from repro.dynamic import simulate_scenario
+
+        t0 = time.perf_counter()
+        sim = simulate_scenario(system, schedule, cell.scenario,
+                                compare_replan=False)
+        runtime += time.perf_counter() - t0
+        n_events = len(sim.records)
     metrics = compute_metrics(schedule)
     result = CellResult(
         schedule_length=metrics.schedule_length,
@@ -217,6 +229,7 @@ def run_cell(
         runtime_s=runtime,
         n_tasks=system.graph.n_tasks,
         n_edges=system.graph.n_edges,
+        n_events=n_events,
     )
     if use_cache:
         cache.put(cell.key(), result.to_dict())

@@ -162,6 +162,27 @@ class HeterogeneousSystem:
         """Actual cost of ``task`` on every processor."""
         return self._exec[task]
 
+    def add_task_costs(self, task: TaskId, costs: Sequence[float]) -> None:
+        """Register the cost row of a task added to the graph *after*
+        construction (dynamic arrivals).  The task must already exist in
+        the graph and must not have a row yet; validation matches the
+        constructor's.
+        """
+        if not self.graph.has_task(task):
+            raise ConfigurationError(
+                f"cannot add costs for {task!r}: not in graph {self.graph.name!r}"
+            )
+        if task in self._exec:
+            raise ConfigurationError(f"task {task!r} already has execution costs")
+        row = tuple(float(c) for c in costs)
+        if len(row) != self.topology.n_procs:
+            raise ConfigurationError(
+                f"task {task!r}: expected {self.topology.n_procs} costs, got {len(row)}"
+            )
+        if any(c <= 0 for c in row):
+            raise ConfigurationError(f"task {task!r}: execution costs must be positive")
+        self._exec[task] = row
+
     def exec_cost_fn(self, proc: Proc):
         """Cost accessor for a fixed processor (feeds level analysis)."""
         return lambda task: self.exec_cost(task, proc)

@@ -200,6 +200,65 @@ def bundle_from_dict(data: Dict[str, Any]) -> Schedule:
     return schedule_from_dict(data["schedule"], system)
 
 
+def relabel_schedule(schedule: Schedule) -> Schedule:
+    """Value-identical copy whose task ids are interchange-safe.
+
+    The generated regular applications use tuple task ids, which the
+    bundle format rejects; this maps them through
+    :func:`repro.graph.interchange.relabel_tasks`' default rename and
+    rebuilds system + schedule with every time, order, and route
+    preserved exactly.  Already-safe schedules are returned unchanged
+    (not copied).
+
+    ``PER_MESSAGE_LINK`` systems whose ids actually change cannot be
+    relabeled exactly — their link factors are stable hashes keyed by
+    task id, so renamed edges would draw different factors — and raise
+    :class:`~repro.errors.SchedulingError` instead of exporting a
+    bundle that fails its own replay audit.
+    """
+    from repro.graph.interchange import _is_interchange_id, relabel_tasks
+    from repro.network.system import LinkHeterogeneity
+
+    system = schedule.system
+    graph = system.graph
+    if all(_is_interchange_id(t) for t in graph.tasks()):
+        return schedule
+    if system.link_mode is LinkHeterogeneity.PER_MESSAGE_LINK:
+        raise SchedulingError(
+            "cannot relabel a schedule over a PER_MESSAGE_LINK system: "
+            "link factors are keyed by task id, so renamed ids would "
+            "change communication costs"
+        )
+    new_graph = relabel_tasks(graph)
+    mapping = dict(zip(graph.tasks(), new_graph.tasks()))
+    new_system = HeterogeneousSystem(
+        new_graph,
+        system.topology,
+        {mapping[t]: system.exec_cost_row(t) for t in graph.tasks()},
+        link_mode=system.link_mode,
+        link_factor_range=system.link_factor_range,
+        link_seed=system.link_seed,
+        per_link_factors=system.per_link_factors or None,
+    )
+    out = schedule.copy()  # fresh slot/hop/route objects, orders preserved
+    out.system = new_system
+    out.slots = {mapping[t]: s for t, s in out.slots.items()}
+    for s in out.slots.values():
+        s.task = mapping[s.task]
+    out.proc_order = {
+        p: [mapping[t] for t in order] for p, order in out.proc_order.items()
+    }
+    new_routes = {}
+    for (u, v), route in out.routes.items():
+        ne = (mapping[u], mapping[v])
+        route.edge = ne
+        for h in route.hops:  # link_order shares these hop objects
+            h.edge = ne
+        new_routes[ne] = route
+    out.routes = new_routes
+    return out
+
+
 def bundle_to_json(schedule: Schedule, indent: Optional[int] = None) -> str:
     return json.dumps(bundle_to_dict(schedule), indent=indent)
 

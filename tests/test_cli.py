@@ -203,3 +203,100 @@ class TestConvert:
         g = load_workload(str(tmp_path / "out.trace.json")).graph
         assert g.cost("a") == 5.0
         assert g.comm_cost("b", "c") == 2.0
+
+
+class TestSimulateReplay:
+    ARGS = ["simulate", "-w", "gauss", "-n", "40", "-t", "ring", "-p", "8",
+            "--seed", "3", "--scenario", "f1a1s2"]
+
+    def test_simulate_prints_event_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "static SL" in out
+        assert "proc_failure" in out and "arrival" in out
+        assert "replan SL" in out          # oracle comparison on by default
+        assert "prefix intact" in out
+
+    def test_simulate_no_replan_omits_oracle(self, capsys):
+        assert main(self.ARGS + ["--no-replan"]) == 0
+        assert "replan SL" not in capsys.readouterr().out
+
+    def test_simulate_log_deterministic(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(self.ARGS + ["--log", str(a)]) == 0
+        assert main(self.ARGS + ["--log", str(b)]) == 0
+        assert a.read_bytes() == b.read_bytes()
+        import json
+
+        log = json.loads(a.read_text())
+        assert log["format"] == "repro-event-log"
+        assert log["n_events"] == 2
+
+    def test_simulate_export_bundle_replays(self, tmp_path, capsys):
+        """The round trip: simulate a tuple-id generated workload,
+        export the final schedule as a bundle (relabeled to
+        interchange-safe ids), replay it through the validator."""
+        bundle = tmp_path / "sim.bundle.json"
+        assert main(self.ARGS + ["--export-bundle", str(bundle)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(bundle)]) == 0
+        out = capsys.readouterr().out
+        assert "replay OK" in out
+        assert "BSA" in out
+
+    def test_simulate_events_file(self, tmp_path, capsys):
+        """An explicit --events trace overrides scenario injection."""
+        import json
+
+        trace = tmp_path / "trace.json"
+        trace.write_text(json.dumps({
+            "format": "repro-event-trace",
+            "version": 1,
+            "events": [
+                {"type": "arrival", "time": 50.0, "task": "hotfix",
+                 "cost": 20.0, "deps": [[["U", 1, 2], 4.0]]},
+                {"type": "proc_failure", "time": 900.0, "proc": 3},
+            ],
+        }))
+        assert main(["simulate", "-w", "gauss", "-n", "40", "-t", "ring",
+                     "-p", "8", "--seed", "3", "--events", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "2 event(s)" in out and str(trace) in out
+
+    def test_simulate_bad_scenario_fails(self, capsys):
+        assert main(["simulate", "-w", "gauss", "--scenario", "zzz"]) == 2
+        assert "simulate failed" in capsys.readouterr().err
+
+    def test_simulate_missing_events_file_fails(self, capsys):
+        assert main(["simulate", "-w", "gauss",
+                     "--events", "/no/such.json"]) == 2
+
+    def test_replay_rejects_non_bundle(self, tmp_path, capsys):
+        bad = tmp_path / "not_bundle.json"
+        bad.write_text("{\"format\": \"something-else\"}")
+        assert main(["replay", str(bad)]) == 2
+        assert "replay failed" in capsys.readouterr().err
+
+    def test_replay_flags_corrupted_schedule(self, tmp_path, capsys):
+        """Tampered times must fail the replay audit (rc 1)."""
+        import json
+
+        bundle = tmp_path / "b.json"
+        assert main(["schedule", "-w", "gauss", "-n", "30", "-t", "ring",
+                     "-p", "4", "--export-bundle", str(bundle)]) == 0
+        capsys.readouterr()
+        doc = json.loads(bundle.read_text())
+        doc["schedule"]["tasks"][0]["start"] += 1e6
+        doc["schedule"]["tasks"][0]["finish"] += 1e6
+        bundle.write_text(json.dumps(doc))
+        assert main(["replay", str(bundle)]) == 1
+        assert "violation" in capsys.readouterr().err
+
+    def test_schedule_export_bundle_generated_workload(self, tmp_path, capsys):
+        """schedule --export-bundle relabels tuple ids transparently."""
+        bundle = tmp_path / "sched.bundle.json"
+        assert main(["schedule", "-w", "gauss", "-n", "30", "-t", "ring",
+                     "-p", "4", "--export-bundle", str(bundle)]) == 0
+        capsys.readouterr()
+        assert main(["replay", str(bundle)]) == 0
+        assert "replay OK" in capsys.readouterr().out

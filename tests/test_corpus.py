@@ -72,6 +72,24 @@ class TestOverlayTokens:
             parse_overlay(text)
 
     @pytest.mark.parametrize(
+        "text",
+        [
+            "ccr2,ccr3",                      # conflicting values
+            "ccr2,ccr2",                      # even agreeing repeats
+            "bridge,bridge",
+            "gran0.1,gran10",
+            "het1:10@0,het1:50@0",
+            "bridge,ccr1,bridge",             # duplicate after other parts
+        ],
+    )
+    def test_duplicate_parts_rejected(self, text):
+        """Repeated parts must error, not silently last-win: 'ccr2,ccr3'
+        would otherwise run (and cache) a ccr=3 experiment under a
+        ccr=2-and-3 name."""
+        with pytest.raises(ConfigurationError, match="duplicate overlay"):
+            parse_overlay(text)
+
+    @pytest.mark.parametrize(
         "kwargs",
         [
             dict(bridge="glue"),

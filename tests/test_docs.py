@@ -62,6 +62,8 @@ class TestRegistriesAgree:
         assert _flag_choices(sub["ablation"], "--topology") == list(TOPOLOGY_NAMES)
         assert _flag_choices(sub["convert"], "--from") == list(format_names())
         assert _flag_choices(sub["convert"], "--to") == list(format_names())
+        assert _flag_choices(sub["simulate"], "--algorithm") == list(ALGORITHM_NAMES)
+        assert _flag_choices(sub["simulate"], "--topology") == list(TOPOLOGY_NAMES)
 
     def test_corpus_cli_choices_come_from_registries(self):
         corpus = _subparsers(build_parser())["corpus"]
@@ -159,7 +161,7 @@ class TestExperimentsSection8:
 
     def test_documented_corpus_files_ship(self):
         text = _read("EXPERIMENTS.md")
-        section = text.split("## 8.")[1]
+        section = text.split("## 8.")[1].split("## 9.")[0]
         for name in re.findall(r"`([\w./]+\.(?:stg|dot|json|dax))`", section):
             assert os.path.exists(
                 os.path.join(REPO_ROOT, "examples", "corpus",
@@ -176,3 +178,27 @@ class TestExperimentsSection8:
         assert {"dax", "wfcommons", "stg", "trace"} <= formats
         assert any(e.needs_bridge for e in manifest.entries)
         assert any(e.n_procs for e in manifest.entries)
+
+
+class TestExperimentsSection9:
+    def test_section_exists_with_commands(self):
+        text = _read("EXPERIMENTS.md")
+        assert "## 9. Online rescheduling" in text
+        assert "repro simulate" in text
+        assert "bench_dynamic" in text
+
+    def test_repair_vs_replan_table_matches_bench(self):
+        """The §9 table is generated from BENCH_dynamic.json — both
+        artifacts are committed, so they must agree."""
+        import json
+
+        report = json.load(
+            open(os.path.join(REPO_ROOT, "BENCH_dynamic.json"))
+        )
+        section = _read("EXPERIMENTS.md").split("## 9.")[1]
+        assert str(report["repair_speedup"]) in section
+        for s in report["scenarios"]:
+            assert s["scenario"] in section, (
+                f"BENCH_dynamic.json scenario {s['scenario']} missing "
+                f"from the EXPERIMENTS §9 table"
+            )

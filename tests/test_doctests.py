@@ -22,6 +22,7 @@ CURATED_MODULES = [
     "repro.workloads.external",
     "repro.workloads.suites",
     "repro.corpus.overlays",
+    "repro.dynamic.events",
     # the core/baselines scheduler entry points (ROADMAP: doctest
     # coverage growth) — every schedule_* runs a real 12-task example
     "repro.core.bsa",
