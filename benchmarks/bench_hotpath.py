@@ -1,24 +1,29 @@
-"""Hot-path speedup benchmark: legacy vs fast vs incremental engines.
+"""Hot-path speedup benchmark: legacy vs fast vs incremental vs array.
 
 Runs a Figure-3-style sweep (regular + random graphs x granularities x
-the paper's four 16-processor topologies x {BSA, DLS}) three times —
+the paper's four 16-processor topologies x {BSA, DLS}) four times —
 with the original linear-rescan hot path (``legacy``), the
-indexed-timeline / memoized / pruned engine (``fast``), and the
-change-driven settle + undo-log engine (``incremental``) — and:
+indexed-timeline / memoized / pruned engine (``fast``), the
+change-driven settle + undo-log engine (``incremental``), and the
+flat-array / vectorized-candidate engine (``array``) — and:
 
-* asserts every schedule is **byte-identical** across all three modes
+* asserts every schedule is **byte-identical** across all four modes
   (serializer JSON compared cell by cell, which covers every task time
   and every message hop);
-* reports the single-process speedups (legacy->fast and
-  legacy->incremental);
+* reports the single-process speedups (legacy->fast,
+  legacy->incremental and legacy->array);
 * runs the **settle/rollback microbench**: end-to-end BSA on n>=100-task
-  workloads, fast vs incremental — isolating what the incremental settle
-  engine and the undo-log rollback buy on the workloads they target
-  (recorded target: >= 2x aggregate);
+  workloads, fast vs incremental vs array — isolating what the
+  change-driven settle engine, the undo-log rollback, and the array
+  rewrite buy on the workloads they target (recorded target: >= 2x
+  aggregate for incremental over fast);
+* records the **scaling curve** (n=100 -> 2000, incremental vs array)
+  and enforces the floor that array wins at n >= 1000 — the scale the
+  array engine exists for;
 * optionally measures parallel-runner scaling (``--jobs N`` wall clock
   vs serial) on the same sweep;
 * writes everything to ``BENCH_hotpath.json`` (repo root by default) so
-  the speedup is tracked across PRs.
+  the speedups are tracked across PRs.
 
 Usage::
 
@@ -48,7 +53,7 @@ from repro.util.intervals import set_hotpath_mode
 
 TOPOLOGIES = ("ring", "hypercube", "clique", "random")
 ALGORITHMS = ("bsa", "dls")
-MODES = ("legacy", "fast", "incremental")
+MODES = ("legacy", "fast", "incremental", "array")
 
 DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_hotpath.json")
 
@@ -108,7 +113,7 @@ def _schedule(cell: Cell):
 
 
 def run_single_process(cells: List[Cell]) -> Dict:
-    """Time every cell under all three modes; verify bit-identical
+    """Time every cell under all four modes; verify bit-identical
     schedules across the whole mode set."""
     totals = {m: 0.0 for m in MODES}
     per_topology: Dict[str, Dict[str, float]] = {
@@ -130,7 +135,8 @@ def run_single_process(cells: List[Cell]) -> Dict:
         sys.stderr.write(
             f"\r[{i + 1}/{len(cells)}] legacy {totals['legacy']:.1f}s "
             f"fast {totals['fast']:.1f}s "
-            f"incremental {totals['incremental']:.1f}s"
+            f"incremental {totals['incremental']:.1f}s "
+            f"array {totals['array']:.1f}s"
         )
     sys.stderr.write("\n")
     set_hotpath_mode("incremental")
@@ -139,8 +145,10 @@ def run_single_process(cells: List[Cell]) -> Dict:
         "legacy_s": round(totals["legacy"], 3),
         "fast_s": round(totals["fast"], 3),
         "incremental_s": round(totals["incremental"], 3),
+        "array_s": round(totals["array"], 3),
         "speedup": round(totals["legacy"] / totals["fast"], 2),
         "speedup_incremental": round(totals["legacy"] / totals["incremental"], 2),
+        "speedup_array": round(totals["legacy"] / totals["array"], 2),
         "identical_schedules": not mismatches,
         "mismatched_cells": mismatches,
         "per_topology": {
@@ -148,10 +156,15 @@ def run_single_process(cells: List[Cell]) -> Dict:
                 "legacy_s": round(v["legacy"], 3),
                 "fast_s": round(v["fast"], 3),
                 "incremental_s": round(v["incremental"], 3),
+                "array_s": round(v["array"], 3),
                 "speedup": round(v["legacy"] / v["fast"], 2) if v["fast"] else None,
                 "speedup_incremental": (
                     round(v["legacy"] / v["incremental"], 2)
                     if v["incremental"] else None
+                ),
+                "speedup_array": (
+                    round(v["legacy"] / v["array"], 2)
+                    if v["array"] else None
                 ),
             }
             for t, v in per_topology.items()
@@ -160,13 +173,15 @@ def run_single_process(cells: List[Cell]) -> Dict:
 
 
 def run_settle_microbench(preset: str, reps: int = 3) -> Dict:
-    """End-to-end BSA, fast vs incremental, on n>=100-task workloads.
+    """End-to-end BSA, fast vs incremental vs array, n>=100 workloads.
 
-    Both modes share the indexed planning substrate; the measured delta
-    is exactly the change-driven settle engine plus the undo-log
-    rollback replacing per-commit snapshots. Identity is asserted via
-    the serializer like the main sweep. Each workload is timed ``reps``
-    times per mode (interleaved) and the minimum kept — the bench is
+    All three modes share the indexed planning substrate; incremental's
+    delta over fast is exactly the change-driven settle engine plus the
+    undo-log rollback replacing per-commit snapshots, and array's delta
+    over incremental is the flat-array timelines plus the vectorized
+    candidate masks. Identity is asserted via the serializer like the
+    main sweep. Each workload is timed ``reps`` times per mode
+    (interleaved) and the minimum kept — the bench is
     contention-noise-prone on shared CI boxes.
     """
     workloads = MICROBENCH_WORKLOADS[preset]
@@ -176,7 +191,7 @@ def run_settle_microbench(preset: str, reps: int = 3) -> Dict:
         for suite, app, size, gran in workloads:
             cell = Cell(suite, app, size, gran, "hypercube", "bsa",
                         n_procs=16, graph_seed=1, system_seed=1)
-            for mode in ("fast", "incremental"):
+            for mode in ("fast", "incremental", "array"):
                 set_hotpath_mode(mode)
                 sched, elapsed = _schedule(cell)
                 key = (suite, app, size, mode)
@@ -186,30 +201,97 @@ def run_settle_microbench(preset: str, reps: int = 3) -> Dict:
                     blobs[key] = schedule_to_json(sched)
     set_hotpath_mode("incremental")
     per_workload = []
-    tot = {"fast": 0.0, "incremental": 0.0}
+    tot = {"fast": 0.0, "incremental": 0.0, "array": 0.0}
     identical = True
     for suite, app, size, gran in workloads:
         f = best[(suite, app, size, "fast")]
         i = best[(suite, app, size, "incremental")]
+        a = best[(suite, app, size, "array")]
         tot["fast"] += f
         tot["incremental"] += i
+        tot["array"] += a
         same = (blobs[(suite, app, size, "fast")]
-                == blobs[(suite, app, size, "incremental")])
+                == blobs[(suite, app, size, "incremental")]
+                == blobs[(suite, app, size, "array")])
         identical = identical and same
         per_workload.append({
             "workload": f"{app}-n{size}",
             "n_tasks": size,
             "fast_s": round(f, 3),
             "incremental_s": round(i, 3),
+            "array_s": round(a, 3),
             "speedup": round(f / i, 2),
+            "speedup_array": round(f / a, 2),
             "identical": same,
         })
     return {
         "workloads": per_workload,
         "fast_s": round(tot["fast"], 3),
         "incremental_s": round(tot["incremental"], 3),
+        "array_s": round(tot["array"], 3),
         "speedup": round(tot["fast"] / tot["incremental"], 2),
+        "speedup_array": round(tot["fast"] / tot["array"], 2),
         "identical_schedules": identical,
+    }
+
+
+#: scaling-curve sizes: the array engine targets n >= 1000; the curve
+#: records where the crossover happens, not just the endpoints
+SCALING_SIZES = {
+    "default": (100, 250, 500, 1000, 2000),
+    "smoke": (100, 1000),
+}
+
+#: the floor the curve enforces: at n >= this, array must beat
+#: incremental outright (same schedules, byte-identical)
+SCALING_FLOOR_N = 1000
+
+
+def run_scaling_curve(preset: str, reps: int = 2) -> Dict:
+    """BSA wall clock, incremental vs array, n=100 -> 2000.
+
+    One gauss workload per size on the 16-processor hypercube (the
+    microbench cell family). Modes are interleaved rep by rep and the
+    per-mode minimum kept. The curve is the tentpole's scaling story:
+    array overhead loses small, flat arrays win at n >= 1000 — so the
+    bench fails outright if array does not beat incremental at every
+    size >= ``SCALING_FLOOR_N``.
+    """
+    points = []
+    floor_ok = True
+    for size in SCALING_SIZES[preset]:
+        cell = Cell("regular", "gauss", size, 1.0, "hypercube", "bsa",
+                    n_procs=16, graph_seed=1, system_seed=1)
+        best = {"incremental": float("inf"), "array": float("inf")}
+        blobs = {}
+        for rep in range(reps):
+            for mode in ("incremental", "array"):
+                set_hotpath_mode(mode)
+                sched, elapsed = _schedule(cell)
+                best[mode] = min(best[mode], elapsed)
+                if rep == 0:
+                    validate_schedule(sched)
+                    blobs[mode] = schedule_to_json(sched)
+        identical = blobs["incremental"] == blobs["array"]
+        speedup = best["incremental"] / best["array"]
+        if size >= SCALING_FLOOR_N and (speedup < 1.0 or not identical):
+            floor_ok = False
+        points.append({
+            "n_tasks": size,
+            "incremental_s": round(best["incremental"], 3),
+            "array_s": round(best["array"], 3),
+            "speedup_array": round(speedup, 2),
+            "identical": identical,
+        })
+        sys.stderr.write(
+            f"\rscaling n={size}: incremental {best['incremental']:.2f}s "
+            f"array {best['array']:.2f}s = {speedup:.2f}x\n"
+        )
+    set_hotpath_mode("incremental")
+    return {
+        "points": points,
+        "floor_n": SCALING_FLOOR_N,
+        "floor_ok": floor_ok,
     }
 
 
@@ -277,13 +359,23 @@ def main(argv=None) -> int:
     sp = report["single_process"]
     print(f"single-process: legacy {sp['legacy_s']}s -> fast {sp['fast_s']}s "
           f"= {sp['speedup']}x -> incremental {sp['incremental_s']}s "
-          f"= {sp['speedup_incremental']}x, identical={sp['identical_schedules']}")
+          f"= {sp['speedup_incremental']}x -> array {sp['array_s']}s "
+          f"= {sp['speedup_array']}x, identical={sp['identical_schedules']}")
 
     report["settle_microbench"] = run_settle_microbench(args.preset)
     mb = report["settle_microbench"]
     print(f"settle/rollback microbench ({len(mb['workloads'])} BSA workloads, "
           f"n>=100): fast {mb['fast_s']}s -> incremental {mb['incremental_s']}s "
-          f"= {mb['speedup']}x, identical={mb['identical_schedules']}")
+          f"= {mb['speedup']}x -> array {mb['array_s']}s "
+          f"= {mb['speedup_array']}x, identical={mb['identical_schedules']}")
+
+    report["scaling_curve"] = run_scaling_curve(args.preset)
+    sc = report["scaling_curve"]
+    curve = ", ".join(
+        f"n={p['n_tasks']}: {p['speedup_array']}x" for p in sc["points"]
+    )
+    print(f"scaling curve (incremental -> array): {curve}; "
+          f"floor(n>={sc['floor_n']}) ok={sc['floor_ok']}")
 
     if args.jobs and args.jobs > 1:
         usable = report["effective_cpus"]
@@ -311,6 +403,14 @@ def main(argv=None) -> int:
 
     if not sp["identical_schedules"] or not mb["identical_schedules"]:
         print("FAIL: schedules differ between modes", file=sys.stderr)
+        return 1
+    if not all(p["identical"] for p in sc["points"]):
+        print("FAIL: scaling-curve schedules differ between modes",
+              file=sys.stderr)
+        return 1
+    if not sc["floor_ok"]:
+        print(f"FAIL: array mode does not beat incremental at "
+              f"n >= {sc['floor_n']}", file=sys.stderr)
         return 1
     return 0
 

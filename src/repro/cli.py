@@ -102,8 +102,10 @@ def _cmd_schedule(args) -> int:
                     raise ReproError(
                         f"{exc} — the schedulers assume a connected DAG "
                         f"(paper §2.1); pass `--bridge epsilon` to insert "
-                        f"minimal-cost connector edges, or use `repro "
-                        f"convert --allow-disconnected` to inspect the file"
+                        f"minimal-cost connector edges, `--bridge "
+                        f"components` to co-schedule the weak components "
+                        f"as independent programs, or use `repro convert "
+                        f"--allow-disconnected` to inspect the file"
                     ) from None
                 raise
             if (workload.n_procs is not None and args.procs is not None
@@ -635,9 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "heterogeneity and pin the processor count")
     p.add_argument("--format", default=None, choices=list(format_names()),
                    help="interchange format of --graph (default: sniff)")
-    p.add_argument("--bridge", default="none", choices=["none", "epsilon"],
-                   help="repair a disconnected --graph import by inserting "
-                        "minimal-cost connector edges (default: reject it)")
+    p.add_argument("--bridge", default="none",
+                   choices=["none", "epsilon", "components"],
+                   help="repair a disconnected --graph import: 'epsilon' "
+                        "inserts minimal-cost connector edges, 'components' "
+                        "co-schedules the weak components as independent "
+                        "programs (default: reject it)")
     p.add_argument("--size", "-n", type=int, default=100)
     p.add_argument("--granularity", "-g", type=float, default=1.0)
     p.add_argument("--topology", "-t", default="hypercube",
@@ -678,7 +683,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--graph", metavar="FILE", default=None,
                    help="simulate on this task-graph file instead of a "
                         "generated workload")
-    p.add_argument("--bridge", default="none", choices=["none", "epsilon"],
+    p.add_argument("--bridge", default="none",
+                   choices=["none", "epsilon", "components"],
                    help="repair a disconnected --graph import")
     p.add_argument("--size", "-n", type=int, default=100)
     p.add_argument("--granularity", "-g", type=float, default=1.0)
@@ -758,9 +764,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the structural (DAG/connectivity) check")
     p.add_argument("--allow-disconnected", action="store_true",
                    help="accept graphs that are not weakly connected")
-    p.add_argument("--bridge", default="none", choices=["none", "epsilon"],
-                   help="repair a disconnected import by inserting "
-                        "minimal-cost connector edges before validation")
+    p.add_argument("--bridge", default="none",
+                   choices=["none", "epsilon", "components"],
+                   help="repair a disconnected import before validation: "
+                        "'epsilon' inserts minimal-cost connector edges, "
+                        "'components' marks the weak components as "
+                        "independent co-scheduled programs")
     p.add_argument("--topology", action="store_true",
                    help="treat SRC/DST as repro-topology JSON platform "
                         "files (validate + normalize) instead of task graphs")

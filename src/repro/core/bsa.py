@@ -46,7 +46,11 @@ from repro.core.migration import (
 from repro.core.serialization import PivotSelection, serial_injection
 from repro.schedule.linkplan import arrival_lower_bound
 from repro.schedule.schedule import Schedule
-from repro.util.intervals import fast_path_enabled, incremental_enabled
+from repro.util.intervals import (
+    array_enabled,
+    fast_path_enabled,
+    incremental_enabled,
+)
 from repro.util.rng import RngStream
 from repro.util.tolerance import EPS as _EPS
 
@@ -207,7 +211,11 @@ class BSAScheduler:
         opts = self.options
         current_ft = sched.slots[task].finish
         vip = None
-        if fast_path_enabled():
+        if array_enabled():
+            plans, best, vip = self._evaluate_candidates_array(
+                sched, task, pivot, neighbors
+            )
+        elif fast_path_enabled():
             # the pruned evaluator already derives the VIP for its
             # must-evaluate rule; reuse it rather than re-scanning
             # predecessor arrivals below
@@ -229,7 +237,10 @@ class BSAScheduler:
             if opts.vip_follow:
                 _, vip = current_drt_vip(sched, task)
 
-        if best.ft < current_ft - _EPS:
+        # the array evaluator may mask out *every* candidate (each bound
+        # already proves the plan cannot win) and return best=None; the
+        # other evaluators always produce at least one plan
+        if best is not None and best.ft < current_ft - _EPS:
             self._commit_transactional(sched, best)
             return
 
@@ -340,6 +351,117 @@ class BSAScheduler:
                 best = plan
         return plans, best, vip
 
+    def _evaluate_candidates_array(
+        self,
+        sched: Schedule,
+        task: TaskId,
+        pivot: Proc,
+        neighbors: List[Proc],
+    ) -> Tuple[List[MigrationPlan], Optional[MigrationPlan], Optional[TaskId]]:
+        """Batched candidate evaluation on the flat-array state.
+
+        Per predecessor, one committed-state trie walk
+        (:meth:`~repro.schedule.arraystate.ArrayState.arrival_bounds`)
+        lower-bounds the message's arrival at *every* processor at once;
+        a vectorized add of the task's execution-cost row turns those
+        into per-candidate finish-time bounds, and boolean masks discard
+        every candidate whose bound already proves its plan can neither
+        beat the current finish time nor serve the VIP-follow step.
+        Survivors are evaluated exactly, cheapest bound first, with the
+        same incumbent prune as :meth:`_evaluate_candidates_pruned`.
+
+        Soundness margin: the exact evaluator's DRT is an epsilon-max
+        (within ``DRT_EPS`` = 1e-12 *below* the plain max), so a bound
+        may overshoot the true plan finish time by at most ``DRT_EPS``;
+        every mask and prune here leaves at least ``_EPS`` (1e-9) of
+        slack, so a discarded candidate's exact plan provably loses every
+        comparison ``_try_migrate`` performs — the selected migration
+        (and the schedule) stays bit-identical to exhaustive evaluation.
+        Unlike the distance bound in the pruned evaluator, the committed
+        walk is valid for heterogeneous links and skewed bandwidths; it
+        requires only shortest routes and the insertion slot policy
+        (append-mode last-reservation finishes are not monotone under
+        the planner's tentative extras), so the other ablations fall
+        back to the pruned evaluator.
+        """
+        opts = self.options
+        if opts.route_mode != "shortest" or not opts.insertion:
+            return self._evaluate_candidates_pruned(sched, task, pivot, neighbors)
+
+        import numpy as np
+
+        from repro.schedule.arraystate import get_array_state
+
+        system = self.system
+        graph = system.graph
+        slots = sched.slots
+        state = get_array_state(system)
+
+        vip: Optional[TaskId] = None
+        vip_proc: Optional[Proc] = None
+        if opts.vip_follow:
+            _, vip = current_drt_vip(sched, task)
+            if vip is not None:
+                vip_proc = sched.proc_of(vip)
+
+        current_ft = slots[task].finish
+        proc_of = sched.proc_of
+
+        drt_lb: Optional[np.ndarray] = None
+        tl_memo: Dict = {}
+        for k in graph.predecessors(task):
+            kb = np.asarray(state.arrival_bounds(
+                sched, (k, task), proc_of(k), slots[k].finish, opts.insertion,
+                tl_memo,
+            ))
+            if drt_lb is None:
+                drt_lb = kb
+            else:
+                np.maximum(drt_lb, kb, out=drt_lb)
+
+        exec_row = state.exec_row(task)
+        ft_bounds = exec_row if drt_lb is None else drt_lb + exec_row
+
+        nb_arr = np.fromiter(neighbors, dtype=np.intp, count=len(neighbors))
+        b = ft_bounds[nb_arr]
+        keep = b < current_ft
+        if vip_proc is not None:
+            # the VIP-follow step needs the VIP processor's exact plan
+            # whenever it could still tie the current finish time
+            keep |= (nb_arr == vip_proc) & (b <= current_ft + 2 * _EPS)
+        kept = int(np.count_nonzero(keep))
+        self.stats.n_pruned += len(neighbors) - kept
+        if kept == 0:
+            return [], None, vip
+
+        nb_kept = nb_arr[keep]
+        b_kept = b[keep]
+        # ascending (bound, dst) — the same visit order bounds.sort()
+        # gives the pruned evaluator
+        order = np.lexsort((nb_kept, b_kept))
+
+        plans: List[MigrationPlan] = []
+        best: Optional[MigrationPlan] = None
+        for idx in order:
+            nb = int(nb_kept[idx])
+            if (
+                best is not None
+                and nb != vip_proc
+                and b_kept[idx] > best.ft + _EPS
+            ):
+                self.stats.n_pruned += 1
+                continue
+            plan = evaluate_migration(
+                sched, task, nb,
+                insertion=opts.insertion, truncate=opts.truncate_routes,
+                route_mode=opts.route_mode,
+            )
+            self.stats.n_evaluated += 1
+            plans.append(plan)
+            if best is None or (plan.ft, plan.dst) < (best.ft, best.dst):
+                best = plan
+        return plans, best, vip
+
     def _commit_transactional(self, sched: Schedule, plan: MigrationPlan) -> bool:
         """Commit a migration; revert and reject it if the resulting order
         constraints are contradictory (possible after multi-phase reroutes
@@ -393,7 +515,7 @@ def schedule_bsa(
     """Convenience wrapper: run BSA and return the schedule.
 
     The schedule is complete (every task placed, every message routed)
-    and identical across the three ``REPRO_HOTPATH`` engine modes.
+    and identical across the four ``REPRO_HOTPATH`` engine modes.
 
     >>> from repro.network.system import HeterogeneousSystem
     >>> from repro.network.topology import ring

@@ -40,8 +40,8 @@ from repro.network.topology import Proc, link_id
 from repro.schedule.events import Edge
 from repro.schedule.linkplan import LinkPlanner, slot_start
 from repro.schedule.schedule import Schedule
-from repro.schedule.settle import settle, settle_incremental
-from repro.util.intervals import incremental_enabled
+from repro.schedule.settle import settle, settle_array, settle_incremental
+from repro.util.intervals import array_enabled, incremental_enabled
 from repro.util.tolerance import DRT_EPS
 
 #: incoming-route plan kinds
@@ -253,7 +253,10 @@ def commit_migration(
         sched.place_task(task, dst, start=plan.st)
         txn = sched.txn
         if txn is not None and incremental_enabled():
-            settle_incremental(sched, txn.seed_tasks, txn.seed_hops)
+            if array_enabled():
+                settle_array(sched, txn.seed_tasks, txn.seed_hops)
+            else:
+                settle_incremental(sched, txn.seed_tasks, txn.seed_hops)
         else:
             settle(sched)
     finally:

@@ -76,7 +76,8 @@ class Overlay:
     :func:`apply_overlay` returns the workload object unchanged.
     """
 
-    #: import repair policy ("none" | "epsilon"), applied at load time
+    #: import repair policy ("none" | "epsilon" | "components"),
+    #: applied at load time
     bridge: str = "none"
     #: target communication-to-computation ratio (None = keep the file's)
     ccr: Optional[float] = None
@@ -139,10 +140,14 @@ class Overlay:
 
         >>> Overlay(bridge="epsilon", het_range=(1, 10), het_seed=3).token()
         'bridge,het1.0:10.0@3'
+        >>> Overlay(bridge="components").token()
+        'bridgecomp'
         """
         parts: List[str] = []
         if self.bridge == "epsilon":
             parts.append("bridge")
+        elif self.bridge == "components":
+            parts.append("bridgecomp")
         if self.ccr is not None:
             parts.append(f"ccr{_fnum(self.ccr)}")
         if self.granularity != 1.0:
@@ -200,6 +205,9 @@ def parse_overlay(text: str) -> Overlay:
         if part == "bridge":
             _once("bridge", part)
             bridge = "epsilon"
+        elif part == "bridgecomp":
+            _once("bridge", part)
+            bridge = "components"
         elif part.startswith("ccr"):
             _once("ccr", part)
             ccr = _float(part[3:], part)

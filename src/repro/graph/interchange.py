@@ -1138,6 +1138,12 @@ def read_dax(
 WFCOMMONS_SCHEMA_VERSION = "1.5"
 
 
+#: node name of the synthetic execution machine written on export —
+#: graph costs are nominal *reference-machine* costs (paper §2.1), so
+#: the execution block reports one reference node running every task
+WFCOMMONS_REFERENCE_MACHINE = "repro_reference"
+
+
 def write_wfcommons(obj, indent: Optional[int] = 2) -> str:
     """Serialize a graph to a WfCommons JSON workflow instance.
 
@@ -1147,6 +1153,12 @@ def write_wfcommons(obj, indent: Optional[int] = 2) -> str:
     the exact communication cost, so :func:`read_wfcommons` inverts the
     writer losslessly; ids are written as native JSON values, so int
     and str ids keep their types.
+
+    The execution block carries the machine metadata external WfCommons
+    tools expect of an instance: a ``machines`` table (one synthetic
+    reference node — nominal costs are reference-machine costs), each
+    task's ``machines`` assignment, and the serial
+    ``makespanInSeconds`` of running every task on that node.
 
     >>> from repro.graph.model import TaskGraph
     >>> g = TaskGraph("w"); g.add_task(0, 2.0); g.add_task("b", 4.0)
@@ -1185,8 +1197,20 @@ def write_wfcommons(obj, indent: Optional[int] = 2) -> str:
                 ],
             },
             "execution": {
+                "makespanInSeconds": graph.total_exec_cost(),
+                "machines": [
+                    {
+                        "nodeName": WFCOMMONS_REFERENCE_MACHINE,
+                        "cpu": {"coreCount": 1},
+                    },
+                ],
                 "tasks": [
-                    {"id": t, "runtimeInSeconds": graph.cost(t)} for t in tasks
+                    {
+                        "id": t,
+                        "runtimeInSeconds": graph.cost(t),
+                        "machines": [WFCOMMONS_REFERENCE_MACHINE],
+                    }
+                    for t in tasks
                 ],
             },
         },
@@ -1540,8 +1564,11 @@ def sniff_format(text: str, filename: Optional[str] = None) -> str:
 
 #: import policies for graphs that are not weakly connected: "none"
 #: rejects them (unless require_connected=False), "epsilon" inserts
-#: minimal-cost connector edges via :func:`bridge_components`
-BRIDGE_POLICIES = ("none", "epsilon")
+#: minimal-cost connector edges via :func:`bridge_components`, and
+#: "components" keeps the components exactly as imported — no connector
+#: edges — and marks the graph so validation and the schedulers treat
+#: them as independent programs co-scheduled on one machine
+BRIDGE_POLICIES = ("none", "epsilon", "components")
 
 #: communication cost of an epsilon connector edge (zero is the true
 #: minimum — the engines support zero-cost edges explicitly)
@@ -1606,6 +1633,19 @@ def _apply_bridge(workload: ExternalWorkload, bridge: str) -> ExternalWorkload:
         )
     if bridge == "none":
         return workload
+    if bridge == "components":
+        # no hub edges: the weak components stay exactly as imported and
+        # are scheduled as independent programs sharing the machine — no
+        # serialization behind a hub task, at the price of leaving the
+        # paper's connected-DAG assumption (the flag exempts the graph
+        # from the connectivity check engine-wide)
+        from repro.graph.validation import weak_components
+
+        if len(weak_components(workload.graph)) <= 1:
+            return workload
+        marked = workload.graph.copy()
+        marked.components_independent = True
+        return dataclasses.replace(workload, graph=marked)
     bridged = bridge_components(workload.graph)
     if bridged is workload.graph:
         return workload
@@ -1672,7 +1712,9 @@ def load_workload(
     ``require_connected=False`` — weakly connected, the paper's
     standing assumption) before it is returned. ``bridge="epsilon"``
     repairs a disconnected import first (see
-    :func:`bridge_components`). Reader keyword options
+    :func:`bridge_components`); ``bridge="components"`` instead marks
+    the weak components as independent co-scheduled programs, adding
+    no edges. Reader keyword options
     (``default_comm``, ``strip_dummies``, ``default_cost``,
     ``runtime_scale``, ...) pass through to the format's reader.
     """

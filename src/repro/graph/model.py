@@ -48,6 +48,12 @@ class TaskGraph:
         self._index: Dict[TaskId, int] = {}
         self._zero_comm: Optional[bool] = None  # cache for has_zero_cost_edge
         self._pred_edges: Dict[TaskId, tuple] = {}  # cache for pred_edges
+        #: declares a deliberately disconnected graph: its weak components
+        #: are independent programs sharing the machine, and validation /
+        #: the schedulers must accept them as-is instead of demanding the
+        #: paper's connected-DAG assumption (set by the ``components``
+        #: bridge policy in :mod:`repro.graph.interchange`)
+        self.components_independent: bool = False
 
     # ------------------------------------------------------------------
     # construction
@@ -276,6 +282,7 @@ class TaskGraph:
             g.add_task(t, c)
         for u, v in self.edges():
             g.add_edge(u, v, self._succ[u][v])
+        g.components_independent = self.components_independent
         return g
 
     def __contains__(self, task: TaskId) -> bool:

@@ -55,9 +55,14 @@ def check_connected(graph: TaskGraph) -> None:
 
 
 def validate_graph(graph: TaskGraph, require_connected: bool = True) -> None:
-    """Full structural check: non-empty, acyclic, (optionally) connected."""
+    """Full structural check: non-empty, acyclic, (optionally) connected.
+
+    A graph marked ``components_independent`` (the ``components`` bridge
+    policy: its weak components are separate programs deliberately
+    co-scheduled on one machine) is exempt from the connectivity check.
+    """
     if graph.n_tasks == 0:
         raise GraphError("empty task graph")
     check_dag(graph)
-    if require_connected:
+    if require_connected and not graph.components_independent:
         check_connected(graph)

@@ -19,13 +19,17 @@ Two implementations coexist:
 
 Which one the schedulers use is controlled by the process-wide hot-path
 mode (:func:`hotpath_mode` / :func:`set_hotpath_mode`, initialized from
-``REPRO_HOTPATH``). Three modes exist: ``legacy`` (the original
+``REPRO_HOTPATH``). Four modes exist: ``legacy`` (the original
 linear-rescan reference code), ``fast`` (indexed timelines, memoized
-routing/costs, candidate pruning, shallow snapshots), and
-``incremental`` (the default: everything in ``fast`` plus the
-change-driven settle engine and the undo-log rollback in
-:mod:`repro.schedule.settle` / :mod:`repro.schedule.schedule`). All
-three produce bit-identical schedules — enforced by
+routing/costs, candidate pruning, shallow snapshots), ``incremental``
+(the default: everything in ``fast`` plus the change-driven settle
+engine and the undo-log rollback in :mod:`repro.schedule.settle` /
+:mod:`repro.schedule.schedule`), and ``array`` (everything in
+``incremental`` plus the numpy-backed flat-array state in
+:mod:`repro.schedule.arraystate`: vectorized timeline gap search,
+dense cost matrices, and batched candidate evaluation — built for
+n>=1000 graphs; requires numpy, the only mode that does). All modes
+produce bit-identical schedules — enforced by
 ``benchmarks/bench_hotpath.py`` and ``tests/test_hotpath_equivalence.py``.
 
 All comparisons use an absolute slack ``EPS`` to absorb floating-point
@@ -47,31 +51,58 @@ from repro.util.tolerance import EPS
 
 #: hot-path modes: "incremental" (default) adds the change-driven settle
 #: engine and undo-log rollback on top of "fast" (indexed structures and
-#: memoized routing/cost lookups); "legacy" runs the original
+#: memoized routing/cost lookups); "array" adds the numpy flat-array
+#: state (vectorized gap search, dense cost matrices, batched candidate
+#: evaluation) on top of "incremental"; "legacy" runs the original
 #: linear-rescan code.
-HOTPATH_MODES = ("incremental", "fast", "legacy")
+HOTPATH_MODES = ("incremental", "fast", "legacy", "array")
+
+
+def _require_numpy(mode: str) -> None:
+    """Raise a clean error when a numpy-backed mode is requested without
+    numpy. Every other mode must keep working numpy-free, so this is the
+    only place the engine ever imports it eagerly."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"REPRO_HOTPATH={mode!r} requires numpy, which is not "
+            f"installed; install numpy or pick one of the numpy-free "
+            f"modes {tuple(m for m in HOTPATH_MODES if m != 'array')}"
+        ) from None
+
 
 _hotpath_mode = os.environ.get("REPRO_HOTPATH", "incremental").strip().lower()
 if _hotpath_mode not in HOTPATH_MODES:  # pragma: no cover - env typo guard
     _hotpath_mode = "incremental"
+if _hotpath_mode == "array":
+    _require_numpy(_hotpath_mode)
 
 
 def hotpath_mode() -> str:
-    """Current hot-path mode: ``"incremental"`` (default), ``"fast"``
-    or ``"legacy"``."""
+    """Current hot-path mode: ``"incremental"`` (default), ``"fast"``,
+    ``"legacy"`` or ``"array"``."""
     return _hotpath_mode
 
 
 def fast_path_enabled() -> bool:
-    """True for every indexed-engine mode (``fast`` and ``incremental``);
-    the incremental engine is a strict superset of the fast one."""
+    """True for every indexed-engine mode (``fast``, ``incremental`` and
+    ``array``); each later engine is a strict superset of ``fast``."""
     return _hotpath_mode != "legacy"
 
 
 def incremental_enabled() -> bool:
     """True when the change-driven settle engine and undo-log rollback
-    are active (mode ``incremental``)."""
-    return _hotpath_mode == "incremental"
+    are active (modes ``incremental`` and ``array`` — the array engine
+    reuses the whole transactional substrate)."""
+    return _hotpath_mode == "incremental" or _hotpath_mode == "array"
+
+
+def array_enabled() -> bool:
+    """True when the numpy flat-array engine is active (mode ``array``)."""
+    return _hotpath_mode == "array"
 
 
 def set_hotpath_mode(mode: str) -> str:
@@ -83,6 +114,8 @@ def set_hotpath_mode(mode: str) -> str:
     global _hotpath_mode
     if mode not in HOTPATH_MODES:
         raise ValueError(f"hotpath mode must be one of {HOTPATH_MODES}, got {mode!r}")
+    if mode == "array":
+        _require_numpy(mode)
     previous = _hotpath_mode
     _hotpath_mode = mode
     return previous

@@ -102,7 +102,14 @@ class TestBehaviour:
         assert stats.first_pivot in range(4)
         assert sorted(stats.pivot_sequence) == [0, 1, 2, 3]
         assert stats.n_examined > 0
-        assert stats.n_evaluated >= stats.n_examined
+        from repro.util.intervals import array_enabled
+
+        if array_enabled():
+            # the array engine's candidate masks may discard *every*
+            # destination of an examined task before evaluating any
+            assert stats.n_evaluated > 0
+        else:
+            assert stats.n_evaluated >= stats.n_examined
         assert stats.n_sweeps_run >= 1
         assert stats.serial_length > 0
 

@@ -7,7 +7,7 @@ The two load-bearing contracts:
   changes the key, identical overlays hit the cache across ``--jobs 2``
   pool runs;
 * **determinism** — the ``repro corpus bench`` aggregate report is
-  byte-identical across all three ``REPRO_HOTPATH`` engine modes.
+  byte-identical across all four ``REPRO_HOTPATH`` engine modes.
 """
 
 import dataclasses
@@ -36,7 +36,7 @@ CORPUS_DIR = os.path.join(REPO_ROOT, "examples", "corpus")
 TRACE_PATH = os.path.join(CORPUS_DIR, "fft8.trace.json")
 BRIDGED_PATH = os.path.join(CORPUS_DIR, "bridged_chains.stg")
 
-MODES = ("legacy", "fast", "incremental")
+MODES = ("legacy", "fast", "incremental", "array")
 
 
 @pytest.fixture
@@ -339,7 +339,7 @@ class TestBench:
 
     def test_report_byte_identical_across_modes_and_jobs(self, restore_mode):
         """Acceptance: the aggregate report is byte-identical across all
-        three REPRO_HOTPATH engine modes and independent of --jobs."""
+        four REPRO_HOTPATH engine modes and independent of --jobs."""
         reports = {}
         for mode in MODES:
             set_hotpath_mode(mode)

@@ -122,7 +122,7 @@ class TestArchitecture:
 
     def test_architecture_documents_engine_modes(self):
         text = _read("ARCHITECTURE.md")
-        for mode in ("incremental", "fast", "legacy"):
+        for mode in ("incremental", "fast", "legacy", "array"):
             assert f"`{mode}`" in text
         assert "REPRO_HOTPATH" in text
         assert "byte identity" in text.lower().replace("-", " ")
@@ -195,10 +195,56 @@ class TestExperimentsSection9:
         report = json.load(
             open(os.path.join(REPO_ROOT, "BENCH_dynamic.json"))
         )
-        section = _read("EXPERIMENTS.md").split("## 9.")[1]
+        section = _read("EXPERIMENTS.md").split("## 9.")[1].split("## 10.")[0]
         assert str(report["repair_speedup"]) in section
         for s in report["scenarios"]:
             assert s["scenario"] in section, (
                 f"BENCH_dynamic.json scenario {s['scenario']} missing "
                 f"from the EXPERIMENTS §9 table"
             )
+
+
+class TestExperimentsSection10:
+    def test_section_exists_with_commands(self):
+        text = _read("EXPERIMENTS.md")
+        assert "## 10. Array engine scaling" in text
+        assert "REPRO_HOTPATH=array" in text
+        assert "bench_hotpath.py" in text.split("## 10.")[1]
+
+    def test_scaling_curve_table_matches_bench(self):
+        """The §10 scaling-curve table is generated from the
+        scaling_curve section of BENCH_hotpath.json — both artifacts
+        are committed, so every point (size, timings, speedup) must
+        agree, and the documented floor must be the bench's floor."""
+        import json
+
+        report = json.load(
+            open(os.path.join(REPO_ROOT, "BENCH_hotpath.json"))
+        )
+        curve = report["scaling_curve"]
+        assert curve["floor_ok"], "committed bench violates its own floor"
+        section = _read("EXPERIMENTS.md").split("## 10.")[1]
+        for p in curve["points"]:
+            row = (f"| {p['n_tasks']} | {p['incremental_s']} s "
+                   f"| {p['array_s']} s | {p['speedup_array']}x | yes |")
+            # normalize column padding: compare without repeated spaces
+            squashed = " ".join(section.split())
+            assert " ".join(row.split()) in squashed, (
+                f"EXPERIMENTS §10 table row for n={p['n_tasks']} does "
+                f"not match BENCH_hotpath.json: expected {row!r}"
+            )
+            assert p["identical"], p
+
+    def test_golden_cell_pin_matches_equivalence_suite(self):
+        """§10 cites the n=1000 pinned makespan; it must be the same
+        float the equivalence suite enforces."""
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "hotpath_equiv",
+            os.path.join(REPO_ROOT, "tests", "test_hotpath_equivalence.py"),
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        section = _read("EXPERIMENTS.md").split("## 10.")[1]
+        assert repr(mod.PINNED_N1000) in section

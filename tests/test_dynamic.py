@@ -46,7 +46,7 @@ from repro.schedule.io import schedule_to_json
 from repro.schedule.validator import schedule_violations, validate_schedule
 from repro.util.intervals import hotpath_mode, set_hotpath_mode
 
-MODES = ("legacy", "fast", "incremental")
+MODES = ("legacy", "fast", "incremental", "array")
 
 #: the bench's smoke cell: small enough to schedule in ~100 ms, rich
 #: enough that a scenario displaces real work
@@ -261,7 +261,7 @@ class TestSimulateInvariants:
 # ----------------------------------------------------------------------
 
 class TestModeIdentity:
-    def test_three_mode_byte_identity(self):
+    def test_engine_mode_byte_identity(self):
         blobs = {}
         logs = {}
         for mode in MODES:

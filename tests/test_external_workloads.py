@@ -4,7 +4,7 @@ Covers the provider layer (app tokens with content hashes, stale-file
 detection, cell construction), the runner integration (serial and
 process-pool), and the acceptance property for the bundled corpus:
 every file schedules validator-clean and byte-identically across all
-three ``REPRO_HOTPATH`` engine modes, under every scheduler.
+four ``REPRO_HOTPATH`` engine modes, under every scheduler.
 """
 
 import os
@@ -29,7 +29,7 @@ from repro.workloads.suites import random_graph
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CORPUS_DIR = os.path.join(REPO_ROOT, "examples", "graphs")
 
-MODES = ("legacy", "fast", "incremental")
+MODES = ("legacy", "fast", "incremental", "array")
 
 
 @pytest.fixture

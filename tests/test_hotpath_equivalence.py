@@ -10,7 +10,7 @@ incremental settle, undo-log rollback):
   trips these. All arithmetic involved is deterministic IEEE-754, so the
   pins are machine-independent.
 * **legacy/fast/incremental cross-checks** — the same cell scheduled
-  under all three hot-path modes must serialize to byte-identical JSON
+  under all four hot-path modes must serialize to byte-identical JSON
   (every task time and every message hop), on uniform *and*
   heterogeneous link models (full-duplex, bandwidth-skewed torus and
   fat-tree cells).
@@ -27,7 +27,7 @@ from repro.experiments.runner import _SCHEDULERS, build_cell_system
 from repro.schedule.io import schedule_to_json
 from repro.util.intervals import hotpath_mode, set_hotpath_mode
 
-MODES = ("legacy", "fast", "incremental")
+MODES = ("legacy", "fast", "incremental", "array")
 
 
 @pytest.fixture
@@ -105,6 +105,15 @@ PINNED_LINK_MODEL = {
 }
 
 
+#: n=1000 golden cell — the scale the array engine exists for, and the
+#: same cell family as ``bench_hotpath.py``'s scaling curve. Pins the
+#: exact makespan so array-mode schedules are locked against drift at
+#: scale (regenerate only on intentional algorithmic change).
+CELL_N1000 = Cell("regular", "gauss", 1000, 1.0, "hypercube", "bsa",
+                  n_procs=16, graph_seed=1, system_seed=1)
+PINNED_N1000 = 66554.90105672537
+
+
 def _cell(suite: str) -> Cell:
     return {
         "regular": CELL_REGULAR,
@@ -151,7 +160,8 @@ class TestPinnedMakespans:
 
 
 class TestEngineModesIdentical:
-    """legacy vs fast vs incremental — byte-identical serialized output."""
+    """legacy vs fast vs incremental vs array — byte-identical
+    serialized output."""
 
     @pytest.mark.parametrize(
         "suite", ["regular", "random", "torus", "fattree", "torus_fd", "fattree_skew"]
@@ -163,7 +173,8 @@ class TestEngineModesIdentical:
             set_hotpath_mode(mode)
             system = build_cell_system(_cell(suite))
             blobs[mode] = schedule_to_json(_SCHEDULERS[algorithm](system))
-        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+        assert (blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+                == blobs["array"])
 
     @pytest.mark.parametrize("route_mode", ["incremental", "shortest"])
     def test_route_modes_identical(self, route_mode, both_modes):
@@ -176,14 +187,31 @@ class TestEngineModesIdentical:
                 BSAOptions(migration_scope="neighbors", route_mode=route_mode),
             )
             blobs[mode] = schedule_to_json(sched)
-        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+        assert (blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+                == blobs["array"])
 
     def test_paper_example_identical(self, both_modes):
         blobs = {}
         for mode in MODES:
             set_hotpath_mode(mode)
             blobs[mode] = schedule_to_json(run_paper_example()["schedule"])
-        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+        assert (blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+                == blobs["array"])
+
+    def test_golden_cell_n1000(self, both_modes):
+        """The n=1000 golden cell: array and incremental byte-identical
+        AND pinned to the exact makespan. Legacy/fast are excluded here
+        only for wall-clock reasons — the ``MODES`` sweeps above pin
+        their equivalence on every differential cell, so the
+        incremental blob transitively anchors all four modes."""
+        blobs = {}
+        for mode in ("incremental", "array"):
+            set_hotpath_mode(mode)
+            system = build_cell_system(CELL_N1000)
+            sched = _SCHEDULERS["bsa"](system)
+            assert sched.schedule_length() == PINNED_N1000, mode
+            blobs[mode] = schedule_to_json(sched)
+        assert blobs["incremental"] == blobs["array"]
 
     def test_rejection_heavy_cell_identical(self, both_modes):
         """A communication-heavy cell whose BSA run rejects many
@@ -201,7 +229,8 @@ class TestEngineModesIdentical:
             scheduler = BSAScheduler(build_cell_system(cell), BSAOptions())
             blobs[mode] = schedule_to_json(scheduler.run())
             rejected[mode] = scheduler.stats.n_rejected_migrations
-        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+        assert (blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+                == blobs["array"])
         assert len(set(rejected.values())) == 1
         # the cell must keep exercising rollback; reseed it if this trips
         assert rejected["incremental"] > 0

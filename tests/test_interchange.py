@@ -579,7 +579,7 @@ class TestBridgePolicy:
         initial = hotpath_mode()
         try:
             blobs = {}
-            for mode in ("legacy", "fast", "incremental"):
+            for mode in ("legacy", "fast", "incremental", "array"):
                 set_hotpath_mode(mode)
                 cell = external_cell(
                     path, algorithm="bsa", topology="ring", n_procs=4,
@@ -590,7 +590,8 @@ class TestBridgePolicy:
                 blobs[mode] = schedule_to_json(schedule)
         finally:
             set_hotpath_mode(initial)
-        assert blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+        assert (blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+                == blobs["array"])
 
     def test_convert_cli_bridge(self, tmp_path, capsys):
         from repro.cli import main
@@ -604,3 +605,102 @@ class TestBridgePolicy:
         assert main(["convert", src, dst, "--bridge", "epsilon"]) == 0
         wl = load_workload(dst)
         assert wl.graph.has_edge(1, 3)
+
+
+class TestComponentsBridge:
+    """The ``components`` bridge policy: co-schedule weak components as
+    independent programs instead of serializing them behind hub edges."""
+
+    @property
+    def path(self):
+        return os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "examples", "corpus", "bridged_chains.stg",
+        )
+
+    def _schedule(self, workload):
+        from repro import hypercube, schedule_bsa
+        from repro.network.system import HeterogeneousSystem
+        from repro.schedule.validator import validate_schedule
+
+        system = HeterogeneousSystem.sample(
+            workload.graph, hypercube(4), het_range=(1, 2), seed=0
+        )
+        sched = schedule_bsa(system)
+        validate_schedule(sched)
+        return sched
+
+    def test_three_way_equivalence(self):
+        """components == raw graph (no added edges) + the independence
+        mark; epsilon == the same tasks behind extra hub edges; both
+        repairs schedule every task validly."""
+        raw = load_workload(
+            self.path, bridge="none", require_connected=False
+        ).graph
+        comp = load_workload(self.path, bridge="components").graph
+        eps = load_workload(self.path, bridge="epsilon").graph
+
+        # components adds nothing: identical task set, costs, and edges
+        assert comp.tasks() == raw.tasks()
+        assert comp.edges() == raw.edges()
+        assert all(comp.cost(t) == raw.cost(t) for t in raw.tasks())
+        assert all(
+            comp.comm_cost(u, v) == raw.comm_cost(u, v)
+            for u, v in raw.edges()
+        )
+        assert comp.components_independent and not raw.components_independent
+
+        # epsilon is the same program set plus connector (hub) edges
+        assert eps.tasks() == raw.tasks()
+        assert not eps.components_independent
+        extra = set(eps.edges()) - set(raw.edges())
+        assert extra and set(raw.edges()) <= set(eps.edges())
+        from repro.graph.validation import weak_components
+
+        assert len(weak_components(comp)) == 3
+        assert len(weak_components(eps)) == 1
+
+    def test_both_repairs_schedule_all_tasks(self):
+        comp_wl = load_workload(self.path, bridge="components")
+        eps_wl = load_workload(self.path, bridge="epsilon")
+        comp_sched = self._schedule(comp_wl)
+        eps_sched = self._schedule(eps_wl)
+        assert len(comp_sched.slots) == comp_wl.graph.n_tasks == 8
+        assert len(eps_sched.slots) == 8
+        # no hub serialization: independent components never wait on a
+        # zero-cost connector, so this fixture schedules strictly better
+        assert (comp_sched.schedule_length()
+                <= eps_sched.schedule_length() + 1e-9)
+
+    def test_flag_survives_copy(self):
+        comp = load_workload(self.path, bridge="components").graph
+        assert comp.copy().components_independent
+
+    def test_connected_graph_unchanged(self):
+        # a connected import is returned as-is (no mark, no copy)
+        wl = loads_workload(
+            "digraph g { a [cost=1]; b [cost=1]; a -> b [comm=1]; }",
+            "dot", bridge="components",
+        )
+        assert not wl.graph.components_independent
+
+    def test_schedule_cli_components(self, tmp_path, capsys):
+        from repro.cli import main
+
+        src = str(tmp_path / "dummy.stg")
+        with open(src, "w") as fh:
+            fh.write(DUMMY_BRIDGED_STG)
+        assert main(["schedule", "--graph", src,
+                     "--bridge", "components"]) == 0
+        out = capsys.readouterr().out
+        assert "SL" in out and "4 tasks" in out
+
+    def test_overlay_token_round_trip(self):
+        from repro.corpus.overlays import Overlay, parse_overlay
+
+        ov = Overlay(bridge="components")
+        assert ov.token() == "bridgecomp"
+        assert parse_overlay("bridgecomp") == ov
+        assert not ov.is_identity
+        # distinct from the epsilon token (distinct cache keys)
+        assert parse_overlay("bridge") == Overlay(bridge="epsilon")

@@ -213,15 +213,118 @@ class TestHotpathMode:
             set_hotpath_mode("turbo")
 
     def test_incremental_implies_fast(self):
-        from repro.util.intervals import incremental_enabled
+        from repro.util.intervals import array_enabled, incremental_enabled
 
         prev = hotpath_mode()
         try:
             set_hotpath_mode("incremental")
             assert fast_path_enabled() and incremental_enabled()
+            assert not array_enabled()
             set_hotpath_mode("fast")
             assert fast_path_enabled() and not incremental_enabled()
+            assert not array_enabled()
             set_hotpath_mode("legacy")
             assert not fast_path_enabled() and not incremental_enabled()
+            assert not array_enabled()
+        finally:
+            set_hotpath_mode(prev)
+
+    def test_array_without_numpy_raises_configuration_error(self):
+        """Requesting the array engine on a numpy-free install must fail
+        with a clean ConfigurationError — at set_hotpath_mode() and at
+        env-var import time alike — while the other three modes keep
+        working. numpy IS installed here, so a child process blocks its
+        import via a meta_path finder before touching repro."""
+        import os
+        import subprocess
+        import sys
+        import textwrap
+
+        code = textwrap.dedent("""
+            import sys
+
+            class _BlockNumpy:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "numpy" or name.startswith("numpy."):
+                        raise ImportError("numpy blocked for test")
+                    return None
+
+            sys.meta_path.insert(0, _BlockNumpy())
+
+            from repro.errors import ConfigurationError
+            from repro.util.intervals import (
+                hotpath_mode,
+                set_hotpath_mode,
+            )
+
+            # numpy-free modes stay fully selectable
+            for mode in ("incremental", "fast", "legacy"):
+                set_hotpath_mode(mode)
+            try:
+                set_hotpath_mode("array")
+            except ConfigurationError as exc:
+                assert "numpy" in str(exc), exc
+            else:
+                raise SystemExit("array mode accepted without numpy")
+            # the failed request must not corrupt the mode switch
+            assert hotpath_mode() == "legacy"
+
+            # env-var request: importing repro with REPRO_HOTPATH=array
+            # must raise the same clean error (re-exec with the blocker
+            # installed via this same script, stage 2)
+            print("STAGE1-OK")
+        """)
+        env = {**os.environ, "PYTHONPATH": "src"}
+        env.pop("REPRO_HOTPATH", None)
+        done = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert done.returncode == 0, done.stderr
+        assert "STAGE1-OK" in done.stdout
+
+        env_code = textwrap.dedent("""
+            import sys
+
+            class _BlockNumpy:
+                def find_spec(self, name, path=None, target=None):
+                    if name == "numpy" or name.startswith("numpy."):
+                        raise ImportError("numpy blocked for test")
+                    return None
+
+            sys.meta_path.insert(0, _BlockNumpy())
+            try:
+                import repro.util.intervals  # noqa: F401
+            except Exception as exc:
+                assert type(exc).__name__ == "ConfigurationError", exc
+                assert "numpy" in str(exc), exc
+                print("STAGE2-OK")
+            else:
+                raise SystemExit(
+                    "REPRO_HOTPATH=array import succeeded without numpy"
+                )
+        """)
+        env["REPRO_HOTPATH"] = "array"
+        done = subprocess.run(
+            [sys.executable, "-c", env_code],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert done.returncode == 0, done.stderr
+        assert "STAGE2-OK" in done.stdout
+
+    def test_array_implies_incremental_and_fast(self):
+        """The array engine is the incremental engine on flat arrays:
+        everything gated on the incremental or fast predicates (undo-log
+        transactions, memoized routes, settle seeding) must stay on."""
+        from repro.util.intervals import array_enabled, incremental_enabled
+
+        prev = hotpath_mode()
+        try:
+            set_hotpath_mode("array")
+            assert array_enabled()
+            assert incremental_enabled()
+            assert fast_path_enabled()
         finally:
             set_hotpath_mode(prev)

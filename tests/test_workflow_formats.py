@@ -5,7 +5,7 @@ randomized sweep, the runtime→cost and shared-file→comm mappings on
 foreign-style documents, strict error paths, sniffing, and the
 acceptance property for the bundled corpus samples: both import,
 schedule validator-clean under all five schedulers, and serialize
-byte-identically across all three ``REPRO_HOTPATH`` engine modes.
+byte-identically across all four ``REPRO_HOTPATH`` engine modes.
 """
 
 import os
@@ -40,7 +40,7 @@ CORPUS_DIR = os.path.join(REPO_ROOT, "examples", "corpus")
 DAX_SAMPLE = os.path.join(CORPUS_DIR, "montage_sample.dax")
 WFC_SAMPLE = os.path.join(CORPUS_DIR, "epigenomics_sample.wfcommons.json")
 
-MODES = ("legacy", "fast", "incremental")
+MODES = ("legacy", "fast", "incremental", "array")
 
 
 @pytest.fixture
@@ -88,6 +88,41 @@ class TestRoundTrips:
         assert back.cost(0) == 0.1 + 0.2
         assert back.cost(1) == 1e-12
         assert back.comm_cost(0, 1) == 2.0 / 3.0
+
+    def test_wfcommons_writer_emits_execution_metadata(self):
+        """Written instances must carry the machine metadata external
+        WfCommons tools expect — a machines table, per-task machine
+        assignments, and a makespan — and still round-trip exactly."""
+        import json
+
+        from repro.graph.interchange import WFCOMMONS_REFERENCE_MACHINE
+
+        g = TaskGraph("meta")
+        g.add_task("a", 2.5)
+        g.add_task("b", 4.0)
+        g.add_edge("a", "b", 3.0)
+        text = write_wfcommons(g)
+        doc = json.loads(text)
+        execution = doc["workflow"]["execution"]
+        # one synthetic reference node (nominal costs are
+        # reference-machine costs), named and with a cpu block
+        assert [m["nodeName"] for m in execution["machines"]] == [
+            WFCOMMONS_REFERENCE_MACHINE
+        ]
+        assert execution["machines"][0]["cpu"]["coreCount"] == 1
+        # every task is assigned to it and keeps its exact runtime
+        by_id = {e["id"]: e for e in execution["tasks"]}
+        assert set(by_id) == {"a", "b"}
+        assert all(
+            e["machines"] == [WFCOMMONS_REFERENCE_MACHINE]
+            for e in by_id.values()
+        )
+        assert by_id["a"]["runtimeInSeconds"] == 2.5
+        # serial reference makespan = total execution cost
+        assert execution["makespanInSeconds"] == 6.5
+        # the metadata does not disturb the lossless round trip
+        back = read_wfcommons(text)
+        assert graphs_equal(g, back.graph, check_name=True)
 
 
 class TestDaxReader:
