@@ -125,7 +125,7 @@ from repro.graph.interchange import (
     graphs_equal,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # errors

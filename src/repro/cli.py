@@ -36,48 +36,28 @@ import argparse
 import sys
 
 from repro import __version__
+from repro.errors import ReproError
+
+
+def _schedule_request_from_args(args):
+    """The one CLI-flags -> :class:`ScheduleRequest` mapping (shared by
+    ``schedule`` and, via the simulate variant, ``simulate``)."""
+    from repro.service.requests import ScheduleRequest
+
+    return ScheduleRequest(
+        graph_path=args.graph, format=getattr(args, "format", None),
+        bridge=args.bridge, workload=args.workload, size=args.size,
+        granularity=args.granularity, topology=args.topology,
+        topology_file=getattr(args, "topology_file", None),
+        n_procs=args.procs, seed=args.seed, duplex=args.duplex,
+        bandwidth_skew=args.bandwidth_skew, algorithm=args.algorithm,
+    )
 
 
 def _cmd_schedule(args) -> int:
-    from repro.errors import ReproError
-    from repro.experiments.config import Cell
-    from repro.experiments.runner import (
-        _SCHEDULERS,
-        build_cell_system,
-        build_topology,
-    )
-    from repro.core.bsa import BSAOptions, schedule_bsa
-    from repro.schedule.gantt import render_gantt
-    from repro.schedule.metrics import compute_metrics
-    from repro.schedule.validator import validate_schedule
-
-    from repro.network.topology import apply_link_model
-
-    file_topology = None
-    if args.topology_file:
-        from repro.network.topology import load_topology
-
-        try:
-            file_topology = load_topology(args.topology_file)
-        except (ReproError, OSError) as exc:
-            print(f"cannot load topology {args.topology_file}: {exc}",
-                  file=sys.stderr)
-            return 2
-        if args.procs is not None and args.procs != file_topology.n_procs:
-            print(f"{args.topology_file} has {file_topology.n_procs} "
-                  f"processors; --procs {args.procs} cannot apply",
-                  file=sys.stderr)
-            return 2
-        # with the default flags this is a no-op that keeps the file's
-        # own link specs; explicit --duplex/--bandwidth-skew overlay them
-        file_topology = apply_link_model(
-            file_topology, duplex=args.duplex,
-            bandwidth_skew=args.bandwidth_skew, seed=args.seed,
-        )
+    from repro.service.pipeline import execute
 
     if args.graph:
-        from repro.graph.interchange import load_workload
-
         ignored = [
             flag for flag, default in
             (("--workload", "random"), ("--size", 100), ("--granularity", 1.0))
@@ -87,169 +67,52 @@ def _cmd_schedule(args) -> int:
             print(f"note: generator flags ({', '.join(ignored)}) are ignored "
                   f"with --graph — the file's structure and costs are used "
                   f"verbatim", file=sys.stderr)
-        try:
-            # strict validation is not optional here: every scheduler
-            # re-checks the connected-DAG assumption itself; what IS
-            # offered is the epsilon repair policy (--bridge epsilon)
-            try:
-                workload = load_workload(
-                    args.graph, fmt=args.format, bridge=args.bridge
-                )
-            except ReproError as exc:
-                from repro.errors import DisconnectedGraphError
-
-                if isinstance(exc, DisconnectedGraphError):
-                    raise ReproError(
-                        f"{exc} — the schedulers assume a connected DAG "
-                        f"(paper §2.1); pass `--bridge epsilon` to insert "
-                        f"minimal-cost connector edges, `--bridge "
-                        f"components` to co-schedule the weak components "
-                        f"as independent programs, or use `repro convert "
-                        f"--allow-disconnected` to inspect the file"
-                    ) from None
-                raise
-            if (workload.n_procs is not None and args.procs is not None
-                    and args.procs != workload.n_procs):
-                raise ReproError(
-                    f"{args.graph} carries {workload.n_procs}-processor "
-                    f"cost vectors; --procs {args.procs} cannot apply"
-                )
-            if file_topology is not None:
-                topology = file_topology
-            else:
-                n_procs = (
-                    workload.n_procs if workload.n_procs is not None
-                    else args.procs if args.procs is not None
-                    else 16
-                )
-                topology = build_topology(args.topology, n_procs, seed=args.seed)
-                topology = apply_link_model(
-                    topology, duplex=args.duplex,
-                    bandwidth_skew=args.bandwidth_skew, seed=args.seed,
-                )
-            system = workload.bind(topology, seed=args.seed)
-        except (ReproError, OSError) as exc:
-            print(f"cannot schedule {args.graph}: {exc}", file=sys.stderr)
-            return 2
-    elif file_topology is not None:
-        from repro.network.system import HeterogeneousSystem
-        from repro.workloads.suites import random_graph, regular_graph
-
-        if args.workload == "random":
-            graph = random_graph(args.size, args.granularity, seed=args.seed)
-        else:
-            graph = regular_graph(
-                args.workload, args.size, args.granularity, seed=args.seed
-            )
-        system = HeterogeneousSystem.sample(graph, file_topology, seed=args.seed)
-    else:
-        suite = "regular" if args.workload != "random" else "random"
-        cell = Cell(
-            suite=suite, app=args.workload, size=args.size,
-            granularity=args.granularity, topology=args.topology,
-            algorithm=args.algorithm,
-            n_procs=args.procs if args.procs is not None else 16,
-            graph_seed=args.seed, system_seed=args.seed,
-            duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
-        )
-        system = build_cell_system(cell)
-    if args.algorithm == "bsa":
-        sched = schedule_bsa(system, BSAOptions(seed=args.seed))
-    else:
-        sched = _SCHEDULERS[args.algorithm](system)
-    validate_schedule(sched)
-    metrics = compute_metrics(sched)
-    print(f"workload : {system.graph.name} ({system.graph.n_tasks} tasks, "
-          f"{system.graph.n_edges} edges)")
-    print(f"platform : {system.topology.name}")
-    print(f"algorithm: {sched.algorithm}")
-    print(f"SL       : {metrics.schedule_length:.1f}")
-    print(f"comm     : {metrics.total_comm_cost:.1f} over {metrics.n_hops} hops")
-    print(f"speedup  : {metrics.speedup:.2f}  (efficiency {metrics.efficiency:.2%})")
+    resp = execute(_schedule_request_from_args(args),
+                   want_schedule=bool(args.gantt))
+    s = resp.summary
+    print(f"workload : {s['graph']} ({s['n_tasks']} tasks, "
+          f"{s['n_edges']} edges)")
+    print(f"platform : {s['topology']}")
+    print(f"algorithm: {s['algorithm']}")
+    print(f"SL       : {s['schedule_length']:.1f}")
+    print(f"comm     : {s['total_comm_cost']:.1f} over {s['n_hops']} hops")
+    print(f"speedup  : {s['speedup']:.2f}  (efficiency {s['efficiency']:.2%})")
     if args.gantt:
-        print()
-        print(render_gantt(sched, height=args.gantt_height))
-    if args.export_bundle:
-        from repro.schedule.io import relabel_schedule, write_bundle
+        from repro.schedule.gantt import render_gantt
 
-        write_bundle(relabel_schedule(sched), args.export_bundle, indent=2)
+        print()
+        print(render_gantt(resp.extra["schedule"], height=args.gantt_height))
+    if args.export_bundle:
+        # the response carries the canonical bundle bytes — the same
+        # string the HTTP service returns for this request
+        with open(args.export_bundle, "w") as fh:
+            fh.write(resp.bundle_text)
         print(f"bundle written to {args.export_bundle} (audit with "
               f"`repro replay {args.export_bundle}`)", file=sys.stderr)
     return 0
 
 
 def _cmd_simulate(args) -> int:
-    from repro.errors import ReproError
-    from repro.experiments.config import Cell
-    from repro.experiments.runner import (
-        _SCHEDULERS,
-        build_cell_system,
-        build_topology,
+    from repro.service.pipeline import execute
+    from repro.service.requests import SimulateRequest
+
+    req = SimulateRequest(
+        graph_path=args.graph, bridge=args.bridge, workload=args.workload,
+        size=args.size, granularity=args.granularity,
+        topology=args.topology, n_procs=args.procs, seed=args.seed,
+        duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
+        algorithm=args.algorithm, scenario=args.scenario,
+        events_path=args.events, compare_replan=not args.no_replan,
     )
-    from repro.core.bsa import BSAOptions, schedule_bsa
-    from repro.dynamic import (
-        FailureInjector,
-        parse_scenario,
-        read_event_trace,
-        simulate,
-    )
-    from repro.schedule.validator import validate_schedule
-
-    try:
-        if args.graph:
-            from repro.graph.interchange import load_workload
-            from repro.network.topology import apply_link_model
-
-            workload = load_workload(args.graph, bridge=args.bridge)
-            if (workload.n_procs is not None and args.procs is not None
-                    and args.procs != workload.n_procs):
-                raise ReproError(
-                    f"{args.graph} carries {workload.n_procs}-processor "
-                    f"cost vectors; --procs {args.procs} cannot apply"
-                )
-            n_procs = (
-                workload.n_procs if workload.n_procs is not None
-                else args.procs if args.procs is not None
-                else 16
-            )
-            topology = build_topology(args.topology, n_procs, seed=args.seed)
-            topology = apply_link_model(
-                topology, duplex=args.duplex,
-                bandwidth_skew=args.bandwidth_skew, seed=args.seed,
-            )
-            system = workload.bind(topology, seed=args.seed)
-        else:
-            suite = "regular" if args.workload != "random" else "random"
-            cell = Cell(
-                suite=suite, app=args.workload, size=args.size,
-                granularity=args.granularity, topology=args.topology,
-                algorithm=args.algorithm,
-                n_procs=args.procs if args.procs is not None else 16,
-                graph_seed=args.seed, system_seed=args.seed,
-                duplex=args.duplex, bandwidth_skew=args.bandwidth_skew,
-            )
-            system = build_cell_system(cell)
-        if args.algorithm == "bsa":
-            sched = schedule_bsa(system, BSAOptions(seed=args.seed))
-        else:
-            sched = _SCHEDULERS[args.algorithm](system)
-        validate_schedule(sched)
-        static_sl = sched.schedule_length()
-        if args.events:
-            events = read_event_trace(args.events)
-        else:
-            scenario = parse_scenario(args.scenario)
-            events = FailureInjector(system, scenario, static_sl).events()
-        sim = simulate(sched, events, compare_replan=not args.no_replan)
-    except (ReproError, OSError) as exc:
-        print(f"simulate failed: {exc}", file=sys.stderr)
-        return 2
-
-    print(f"workload : {system.graph.name} ({system.graph.n_tasks} tasks, "
-          f"{system.graph.n_edges} edges)")
-    print(f"platform : {system.topology.name}; algorithm {sched.algorithm}")
+    resp = execute(req)
+    s = resp.summary
+    sim = resp.extra["sim"]
+    print(f"workload : {s['graph']} ({s['n_tasks']} tasks, "
+          f"{s['n_edges']} edges)")
+    print(f"platform : {s['topology']}; algorithm {s['algorithm']}")
     source = args.events if args.events else f"scenario {args.scenario}"
-    print(f"static SL: {static_sl:.1f}; {len(sim.records)} event(s) from {source}")
+    print(f"static SL: {s['static_sl']:.1f}; {s['n_events']} event(s) "
+          f"from {source}")
     for r in sim.records:
         line = (f"  [{r.index}] t={r.time:<9.1f} {r.etype:<12} -> "
                 f"{r.strategy:<6} moved={r.tasks_moved:<3} "
@@ -280,25 +143,21 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_replay(args) -> int:
-    from repro.errors import ReproError
+    from repro.errors import InvalidScheduleError, SchedulingError
     from repro.schedule.io import read_bundle
     from repro.schedule.metrics import compute_metrics
     from repro.schedule.validator import schedule_violations
 
     try:
         sched = read_bundle(args.bundle)
-    except (ReproError, OSError, ValueError) as exc:
-        print(f"replay failed: {exc}", file=sys.stderr)
-        return 2
+    except ValueError as exc:
+        # malformed JSON surfaces like any other unusable bundle
+        raise SchedulingError(f"{args.bundle}: {exc}") from None
     violations = schedule_violations(sched)
     if violations:
-        print(f"replay: {args.bundle} fails the audit with "
-              f"{len(violations)} violation(s):", file=sys.stderr)
-        for v in violations[:10]:
-            print(f"  - {v}", file=sys.stderr)
-        if len(violations) > 10:
-            print(f"  (+{len(violations) - 10} more)", file=sys.stderr)
-        return 1
+        # exits 1 through the error table (the audit verdict), with the
+        # individual findings in the payload/detail
+        raise InvalidScheduleError(violations)
     system = sched.system
     metrics = compute_metrics(sched)
     print(f"replay OK: {args.bundle}")
@@ -432,49 +291,32 @@ def _cmd_ablation(args) -> int:
 
 
 def _cmd_convert(args) -> int:
-    from repro.errors import ReproError
-    from repro.graph.interchange import convert_file
+    from repro.service.pipeline import execute
+    from repro.service.requests import ConvertRequest
 
-    if args.topology:
-        from repro.network.topology import load_topology, save_topology
-
-        try:
-            topology = load_topology(args.src)
-            save_topology(topology, args.dst)
-        except (ReproError, OSError) as exc:
-            print(f"convert failed: {exc}", file=sys.stderr)
-            return 2
-        print(f"{args.src} -> {args.dst}: topology {topology.name} — "
-              f"{topology.n_procs} processors, {topology.n_links} links")
-        return 0
-
-    kwargs = {}
-    if args.default_comm is not None:
-        kwargs["default_comm"] = args.default_comm
-    if args.default_cost is not None:
-        kwargs["default_cost"] = args.default_cost
-    try:
-        in_fmt, out_fmt, workload = convert_file(
-            args.src, args.dst,
-            from_fmt=args.from_fmt, to_fmt=args.to_fmt,
-            validate=not args.no_validate,
-            require_connected=not args.allow_disconnected,
-            bridge=args.bridge,
-            **kwargs,
-        )
-    except (ReproError, OSError) as exc:
-        print(f"convert failed: {exc}", file=sys.stderr)
-        return 2
-    g = workload.graph
-    vectors = (
-        f", {workload.n_procs}-processor cost vectors"
-        if workload.n_procs else ""
+    req = ConvertRequest(
+        src=args.src, dst=args.dst,
+        from_fmt=args.from_fmt, to_fmt=args.to_fmt,
+        validate_graph=not args.no_validate,
+        require_connected=not args.allow_disconnected,
+        bridge=args.bridge,
+        default_comm=args.default_comm, default_cost=args.default_cost,
+        topology=args.topology,
     )
-    if out_fmt != "trace" and workload.n_procs:
-        print(f"note: {out_fmt!r} cannot carry per-processor cost vectors; "
+    resp = execute(req)
+    s = resp.summary
+    if s["mode"] == "topology":
+        print(f"{args.src} -> {args.dst}: topology {s['topology']} — "
+              f"{s['n_procs']} processors, {s['n_links']} links")
+        return 0
+    vectors = (
+        f", {s['n_procs']}-processor cost vectors" if s["n_procs"] else ""
+    )
+    if s["to"] != "trace" and s["n_procs"]:
+        print(f"note: {s['to']!r} cannot carry per-processor cost vectors; "
               f"only the nominal graph was written", file=sys.stderr)
-    print(f"{args.src} ({in_fmt}) -> {args.dst} ({out_fmt}): "
-          f"{g.name} — {g.n_tasks} tasks, {g.n_edges} edges{vectors}")
+    print(f"{args.src} ({s['from']}) -> {args.dst} ({s['to']}): "
+          f"{s['graph']} — {s['n_tasks']} tasks, {s['n_edges']} edges{vectors}")
     return 0
 
 
@@ -491,13 +333,8 @@ def _corpus_overlays(args):
 
 def _cmd_corpus_scan(args) -> int:
     from repro.corpus.manifest import scan_corpus
-    from repro.errors import ReproError
 
-    try:
-        manifest = scan_corpus(args.dir)
-    except (ReproError, OSError) as exc:
-        print(f"corpus scan failed: {exc}", file=sys.stderr)
-        return 2
+    manifest = scan_corpus(args.dir)
     if args.out:
         manifest.save(args.out)
         print(f"manifest of {len(manifest)} file(s) written to {args.out}")
@@ -508,14 +345,9 @@ def _cmd_corpus_scan(args) -> int:
 
 def _cmd_corpus_ls(args) -> int:
     from repro.corpus.manifest import scan_corpus
-    from repro.errors import ReproError
     from repro.util.tables import format_table
 
-    try:
-        manifest = scan_corpus(args.dir)
-    except (ReproError, OSError) as exc:
-        print(f"corpus scan failed: {exc}", file=sys.stderr)
-        return 2
+    manifest = scan_corpus(args.dir)
     rows = [
         [
             e.path, e.fmt, e.n_tasks, e.n_edges, e.components,
@@ -536,28 +368,30 @@ def _cmd_corpus_ls(args) -> int:
 
 def _run_corpus_bench(args, telemetry: bool) -> int:
     from repro.corpus.bench import corpus_bench
-    from repro.errors import ReproError
+    from repro.util.intervals import hotpath_mode
 
     say = (lambda msg: print(f"  {msg}", file=sys.stderr)) if telemetry else None
-    try:
-        report_text, sweep = corpus_bench(
-            args.dir,
-            overlays=_corpus_overlays(args),
-            topologies=tuple(args.topologies),
-            algorithms=tuple(args.algorithms),
-            n_procs=args.procs,
-            system_seed=args.seed,
-            jobs=args.jobs,
-            use_cache=not getattr(args, "no_cache", False),
-            progress=say,
-        )
-    except (ReproError, OSError) as exc:
-        print(f"corpus bench failed: {exc}", file=sys.stderr)
-        return 2
+    report_text, sweep = corpus_bench(
+        args.dir,
+        overlays=_corpus_overlays(args),
+        topologies=tuple(args.topologies),
+        algorithms=tuple(args.algorithms),
+        n_procs=args.procs,
+        system_seed=args.seed,
+        jobs=args.jobs,
+        use_cache=not getattr(args, "no_cache", False),
+        progress=say,
+    )
     if telemetry:
         # execution telemetry (timings, cache hits) goes to stderr: the
         # stdout/--out report is the deterministic artifact
         print(sweep.summary(), file=sys.stderr)
+    # cache provenance is telemetry too — stderr keeps the report
+    # byte-identical across library versions and engine modes
+    print(f"provenance: repro {__version__}, engine {hotpath_mode()}, "
+          f"{sweep.stale} stale cache entr"
+          f"{'y' if sweep.stale == 1 else 'ies'} recomputed",
+          file=sys.stderr)
     print(report_text)
     if args.out:
         with open(args.out, "w") as fh:
@@ -587,6 +421,19 @@ def _cmd_report(args) -> int:
     else:
         print(text)
     return 0
+
+
+def _cmd_serve(args) -> int:
+    import os
+
+    from repro.service.http import serve
+
+    api_key = args.api_key or os.environ.get("REPRO_API_KEY") or None
+    return serve(
+        host=args.host, port=args.port, api_key=api_key, jobs=args.jobs,
+        async_threshold=args.async_threshold,
+        use_cache=not args.no_cache,
+    )
 
 
 def _cmd_info(args) -> int:
@@ -622,6 +469,10 @@ def build_parser() -> argparse.ArgumentParser:
         description="BSA link-contention scheduling reproduction (Kwok & Ahmad, ICPP 1999)",
     )
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    parser.add_argument("--json", dest="json_errors", action="store_true",
+                        help="on failure, print the structured error "
+                             "payload {error, kind, detail, violations?} "
+                             "as JSON on stdout instead of prose on stderr")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("schedule", help="schedule one workload")
@@ -872,6 +723,29 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the worked example section")
     p.set_defaults(func=_cmd_report)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the scheduling service over HTTP (stdlib-only): "
+             "/health /version /schedule /convert /sweep /jobs/<id>",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (default: 8321; 0 picks a free port)")
+    p.add_argument("--api-key", default=None,
+                   help="require this X-API-Key header on every request "
+                        "except /health (default: the REPRO_API_KEY env "
+                        "var, or no gating)")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes for /sweep grids (default: 1)")
+    p.add_argument("--async-threshold", type=int, default=8,
+                   help="sweeps larger than this many cells return 202 + "
+                        "a job id to poll at /jobs/<id> (default: 8)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="compute every request fresh; never read or "
+                        "write the result cache")
+    p.set_defaults(func=_cmd_serve)
+
     p = sub.add_parser("info", help="library and scale information")
     p.set_defaults(func=_cmd_info)
     return parser
@@ -880,7 +754,23 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        # every library failure exits through the service error table:
+        # one documented exit code per error class, and an optional
+        # machine-readable payload (repro --json ...)
+        from repro.service.errors import error_payload, exit_code_for
+
+        payload = error_payload(exc)
+        if getattr(args, "json_errors", False):
+            import json
+
+            print(json.dumps(payload, indent=2))
+        else:
+            print(f"repro {args.command}: {payload['detail']}",
+                  file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover

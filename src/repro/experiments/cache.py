@@ -36,6 +36,61 @@ CACHE_VERSION = 3
 
 DEFAULT_SHARDS = 8
 
+#: reserved key carrying an entry's provenance stamp. Result
+#: deserializers must ignore ``__``-prefixed keys.
+PROVENANCE_KEY = "__prov__"
+
+
+def provenance_stamp(request_key: str) -> dict:
+    """The ``{repro_version, engine_mode, request_key}`` stamp recorded
+    with every cached artifact (the huldra-style provenance record)."""
+    from repro import __version__
+    from repro.util.intervals import hotpath_mode
+
+    return {
+        "repro_version": __version__,
+        "engine_mode": hotpath_mode(),
+        "request_key": request_key,
+    }
+
+
+def stamp_provenance(value: dict, request_key: str) -> dict:
+    """Copy of ``value`` carrying a fresh provenance stamp."""
+    out = dict(value)
+    out[PROVENANCE_KEY] = provenance_stamp(request_key)
+    return out
+
+
+def provenance_of(value: Optional[dict]) -> Optional[dict]:
+    if not isinstance(value, dict):
+        return None
+    return value.get(PROVENANCE_KEY)
+
+
+def is_stale(value: dict, request_key: str) -> bool:
+    """True when a cached entry's provenance contradicts the request —
+    stale entries are recomputed, never served.
+
+    Staleness means a *different library version* wrote the entry, or
+    the entry was written under a *different request key* (a sharding or
+    grammar bug). ``engine_mode`` is recorded but deliberately not a
+    criterion: schedules are byte-identical across the ``REPRO_HOTPATH``
+    modes by contract, so cross-mode serving is correct (and the corpus
+    report stays byte-identical across modes). Entries written before
+    provenance existed carry no stamp and are grandfathered —
+    ``CACHE_VERSION`` gates those wholesale.
+    """
+    from repro import __version__
+
+    prov = provenance_of(value)
+    if prov is None:
+        return False
+    if prov.get("repro_version") != __version__:
+        return True
+    if prov.get("request_key") != request_key:
+        return True
+    return False
+
 
 class ResultCache:
     """A dict-like JSON cache for cell results (single-file or sharded)."""

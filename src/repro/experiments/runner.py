@@ -21,7 +21,12 @@ from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
-from repro.experiments.cache import ResultCache, default_cache
+from repro.experiments.cache import (
+    ResultCache,
+    default_cache,
+    is_stale,
+    stamp_provenance,
+)
 from repro.experiments.config import Cell
 from repro.network.system import HeterogeneousSystem
 from repro.network.topology import (
@@ -65,7 +70,9 @@ class CellResult:
 
     @classmethod
     def from_dict(cls, d: dict) -> "CellResult":
-        return cls(**d)
+        # ``__``-prefixed keys are cache metadata (provenance stamps),
+        # not result fields
+        return cls(**{k: v for k, v in d.items() if not k.startswith("__")})
 
 
 def build_topology(name: str, n_procs: int, seed: int = 0) -> Topology:
@@ -197,7 +204,7 @@ def run_cell(
         cache = default_cache()
     if use_cache:
         hit = cache.get(cell.key())
-        if hit is not None:
+        if hit is not None and not is_stale(hit, cell.key()):
             return CellResult.from_dict(hit)
 
     system = build_cell_system(cell)
@@ -232,7 +239,7 @@ def run_cell(
         n_events=n_events,
     )
     if use_cache:
-        cache.put(cell.key(), result.to_dict())
+        cache.put(cell.key(), stamp_provenance(result.to_dict(), cell.key()))
     return result
 
 
@@ -247,6 +254,9 @@ class SweepReport:
     total: int = 0
     unique: int = 0
     cache_hits: int = 0
+    #: cached entries whose provenance stamp contradicted the request
+    #: (library version or request key mismatch) — recomputed, not served
+    stale: int = 0
     computed: int = 0
     failures: List[Tuple[str, str]] = field(default_factory=list)
     wall_s: float = 0.0
@@ -255,9 +265,10 @@ class SweepReport:
 
     def summary(self) -> str:
         rate = self.computed / self.wall_s if self.wall_s > 0 else 0.0
+        stale = f"{self.stale} stale, " if self.stale else ""
         lines = [
             f"sweep: {self.total} cells ({self.unique} unique), "
-            f"{self.cache_hits} cache hits, {self.computed} computed "
+            f"{self.cache_hits} cache hits, {stale}{self.computed} computed "
             f"in {self.wall_s:.1f}s ({rate:.1f} cells/s, jobs={self.jobs}, "
             f"chunks={self.n_chunks})",
         ]
@@ -329,6 +340,9 @@ def run_cells(
     misses: List[Cell] = []
     for key, cell in unique.items():
         hit = cache.get(key) if use_cache else None
+        if hit is not None and is_stale(hit, key):
+            report.stale += 1
+            hit = None
         if hit is not None:
             results[key] = CellResult.from_dict(hit)
         else:
@@ -344,7 +358,7 @@ def run_cells(
                 report.failures.append((key, payload["__error__"]))
                 continue
             results[key] = CellResult.from_dict(payload)
-            good.append((key, payload))
+            good.append((key, stamp_provenance(payload, key)))
             report.computed += 1
         if use_cache and good:
             cache.put_many(good, flush=True)

@@ -1,0 +1,56 @@
+"""Scheduling-as-a-service: the transport-agnostic request pipeline.
+
+This package is the single front door for "give me a schedule":
+
+* :mod:`repro.service.requests` — typed request objects
+  (:class:`ScheduleRequest`, :class:`ConvertRequest`,
+  :class:`SweepRequest`, :class:`SimulateRequest`) with strict JSON
+  (de)serialization and canonical idempotency keys built from the same
+  content-hash / overlay / scenario token grammar the experiment cache
+  uses;
+* :mod:`repro.service.errors` — the library-wide error table: every
+  :class:`~repro.errors.ReproError` subclass maps to a stable machine
+  kind, CLI exit code and HTTP status, and renders as a structured
+  ``{error, kind, detail, violations?}`` payload;
+* :mod:`repro.service.pipeline` — ``execute(request) -> ServiceResponse``,
+  the one implementation of the graph-load -> bridge -> overlay ->
+  topology -> scheduler -> validate -> bundle flow. The CLI and the HTTP
+  server both call it, so their outputs are byte-identical by
+  construction, and repeated requests are served from the
+  :class:`~repro.experiments.cache.ResultCache` via the request's
+  idempotency key (with provenance-checked entries);
+* :mod:`repro.service.http` — ``repro serve``: a zero-dependency
+  ``ThreadingHTTPServer`` speaking JSON over ``/health``, ``/version``,
+  ``/schedule``, ``/convert``, ``/sweep`` and ``/jobs/<id>``.
+"""
+
+from repro.service.errors import (
+    ERROR_TABLE,
+    error_payload,
+    error_spec,
+    exit_code_for,
+    http_status_for,
+)
+from repro.service.requests import (
+    ConvertRequest,
+    ScheduleRequest,
+    SimulateRequest,
+    SweepRequest,
+    request_from_dict,
+)
+from repro.service.pipeline import ServiceResponse, execute
+
+__all__ = [
+    "ERROR_TABLE",
+    "error_payload",
+    "error_spec",
+    "exit_code_for",
+    "http_status_for",
+    "ScheduleRequest",
+    "ConvertRequest",
+    "SweepRequest",
+    "SimulateRequest",
+    "request_from_dict",
+    "ServiceResponse",
+    "execute",
+]

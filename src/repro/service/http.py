@@ -1,0 +1,360 @@
+"""``repro serve`` — the scheduling service over HTTP, stdlib-only.
+
+A :class:`ThreadingHTTPServer` front end over
+:func:`repro.service.pipeline.execute`. No new dependencies: transport
+is ``http.server``, auth is an optional shared-secret ``X-API-Key``
+header compared with :func:`hmac.compare_digest`.
+
+Endpoints
+---------
+* ``GET /health`` — liveness (never auth-gated): status, version,
+  engine mode.
+* ``GET /version`` — library version plus the live registries
+  (formats, algorithms, topologies) a client can build requests from.
+* ``POST /schedule`` — a :class:`ScheduleRequest` JSON body; the
+  response body is the canonical schedule bundle, byte-identical to
+  ``repro schedule --export-bundle`` for the same request. Metadata
+  rides in headers: ``X-Repro-Cache`` (``hit``/``miss``/``off``),
+  ``X-Repro-Request-Key``.
+* ``POST /convert`` — an inline :class:`ConvertRequest` (``graph`` +
+  ``to_fmt``); the response body is the converted document, with
+  ``X-Repro-From``/``X-Repro-To`` headers. Path mode is CLI-only: the
+  server never reads or writes client-named files.
+* ``POST /sweep`` — a :class:`SweepRequest` Cell grid. Grids up to the
+  server's ``--async-threshold`` run synchronously (200 + full result);
+  larger grids return ``202`` with a job id immediately and run on the
+  job worker over the existing process pool.
+* ``GET /jobs/<id>`` — poll an async job: status, then the full result
+  payload (with cache/provenance metadata) once done.
+
+Errors are structured everywhere: the body is
+``{error, kind, detail, violations?}`` from
+:mod:`repro.service.errors`, with the table's HTTP status.
+"""
+
+from __future__ import annotations
+
+import hmac
+import json
+import queue
+import sys
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional
+
+from repro import __version__
+from repro.errors import ConfigurationError
+from repro.service.errors import error_payload, http_status_for
+from repro.service.pipeline import execute
+from repro.service.requests import (
+    ConvertRequest,
+    ScheduleRequest,
+    SweepRequest,
+)
+
+__all__ = ["ReproServer", "make_server", "serve"]
+
+#: default sweep size above which /sweep answers 202 + job id
+DEFAULT_ASYNC_THRESHOLD = 8
+
+
+class JobStore:
+    """Async sweep jobs: one daemon worker drains a FIFO queue.
+
+    A single worker is deliberate — sweeps parallelize *internally*
+    through the runner's process pool, so running two large grids
+    concurrently would just thrash the same cores.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, Dict[str, Any]] = {}
+        self._queue: "queue.Queue" = queue.Queue()
+        self._count = 0
+        self._worker = threading.Thread(
+            target=self._run, name="repro-serve-jobs", daemon=True
+        )
+        self._worker.start()
+
+    def submit(self, request_key: str, n_cells: int, fn) -> str:
+        with self._lock:
+            self._count += 1
+            job_id = f"job-{self._count:04d}"
+            self._jobs[job_id] = {
+                "id": job_id,
+                "status": "queued",
+                "request_key": request_key,
+                "n_cells": n_cells,
+                "result": None,
+                "error": None,
+            }
+        self._queue.put((job_id, fn))
+        return job_id
+
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            return dict(job) if job is not None else None
+
+    def _run(self) -> None:
+        while True:
+            job_id, fn = self._queue.get()
+            with self._lock:
+                self._jobs[job_id]["status"] = "running"
+            try:
+                response = fn()
+            except Exception as exc:  # noqa: BLE001 - reported to the poller
+                with self._lock:
+                    self._jobs[job_id]["status"] = "failed"
+                    self._jobs[job_id]["error"] = error_payload(exc)
+            else:
+                with self._lock:
+                    self._jobs[job_id]["status"] = "done"
+                    self._jobs[job_id]["result"] = response.to_dict()
+
+
+class ReproServer(ThreadingHTTPServer):
+    """The service process state shared by all handler threads."""
+
+    daemon_threads = True
+
+    def __init__(self, address, api_key: Optional[str] = None,
+                 jobs: int = 1,
+                 async_threshold: int = DEFAULT_ASYNC_THRESHOLD,
+                 use_cache: bool = True, quiet: bool = False):
+        super().__init__(address, _Handler)
+        self.api_key = api_key
+        self.jobs = max(1, jobs)
+        self.async_threshold = max(0, async_threshold)
+        self.use_cache = use_cache
+        self.quiet = quiet
+        self.job_store = JobStore()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ReproServer  # set by http.server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, fmt, *args):  # pragma: no cover - cosmetic
+        if not self.server.quiet:
+            sys.stderr.write(
+                f"repro serve: {self.address_string()} {fmt % args}\n"
+            )
+
+    def _send(self, status: int, body: bytes,
+              content_type: str = "application/json",
+              headers: Optional[Dict[str, str]] = None) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, obj,
+                   headers: Optional[Dict[str, str]] = None) -> None:
+        body = (json.dumps(obj, indent=2) + "\n").encode("utf-8")
+        self._send(status, body, headers=headers)
+
+    def _send_error_payload(self, exc: BaseException) -> None:
+        self._send_json(http_status_for(exc), error_payload(exc))
+
+    def _authorized(self) -> bool:
+        key = self.server.api_key
+        if not key:
+            return True
+        given = self.headers.get("X-API-Key", "")
+        return hmac.compare_digest(given.encode("utf-8"), key.encode("utf-8"))
+
+    def _reject_unauthorized(self) -> None:
+        self._send_json(401, {
+            "error": "Unauthorized",
+            "kind": "auth",
+            "detail": "missing or invalid X-API-Key header",
+        })
+
+    def _not_found(self, what: str) -> None:
+        self._send_json(404, {
+            "error": "NotFound",
+            "kind": "not-found",
+            "detail": what,
+        })
+
+    def _read_request_body(self) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length > 0 else b""
+        if not raw:
+            raise ConfigurationError("request body is empty; expected JSON")
+        try:
+            doc = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise ConfigurationError(
+                f"request body is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(doc, dict):
+            raise ConfigurationError(
+                f"request body must be a JSON object, got "
+                f"{type(doc).__name__}"
+            )
+        return doc
+
+    # -- GET -----------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        from repro.util.intervals import hotpath_mode
+
+        if self.path == "/health":
+            # liveness stays open even when the API is key-gated
+            self._send_json(200, {
+                "status": "ok",
+                "version": __version__,
+                "engine_mode": hotpath_mode(),
+            })
+            return
+        if not self._authorized():
+            self._reject_unauthorized()
+            return
+        if self.path == "/version":
+            from repro.experiments.cache import CACHE_VERSION
+            from repro.experiments.config import (
+                ALGORITHM_NAMES,
+                TOPOLOGY_NAMES,
+            )
+            from repro.graph.interchange import format_names
+
+            self._send_json(200, {
+                "version": __version__,
+                "cache_version": CACHE_VERSION,
+                "engine_mode": hotpath_mode(),
+                "formats": list(format_names()),
+                "algorithms": list(ALGORITHM_NAMES),
+                "topologies": list(TOPOLOGY_NAMES),
+            })
+            return
+        if self.path.startswith("/jobs/"):
+            job_id = self.path[len("/jobs/"):]
+            job = self.server.job_store.get(job_id)
+            if job is None:
+                self._not_found(f"no such job {job_id!r}")
+            else:
+                self._send_json(200, job)
+            return
+        self._not_found(f"no such endpoint GET {self.path}")
+
+    # -- POST ----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if not self._authorized():
+            self._reject_unauthorized()
+            return
+        try:
+            if self.path == "/schedule":
+                self._post_schedule()
+            elif self.path == "/convert":
+                self._post_convert()
+            elif self.path == "/sweep":
+                self._post_sweep()
+            else:
+                self._not_found(f"no such endpoint POST {self.path}")
+        except Exception as exc:  # noqa: BLE001 - rendered structurally
+            self._send_error_payload(exc)
+
+    def _post_schedule(self) -> None:
+        doc = self._read_request_body()
+        request = ScheduleRequest.from_dict(doc)
+        if request.graph_path is not None or request.topology_file is not None:
+            raise ConfigurationError(
+                "the HTTP service does not read server-side files; send "
+                "the graph inline (graph=...) and the platform inline "
+                "(topology_spec=...)"
+            )
+        response = execute(request, use_cache=self.server.use_cache)
+        # the body IS the canonical bundle — byte-identical to the CLI's
+        # --export-bundle file for the same request
+        self._send(
+            200, response.bundle_text.encode("utf-8"),
+            headers={
+                "X-Repro-Cache": response.cache,
+                "X-Repro-Request-Key": response.request_key,
+            },
+        )
+
+    def _post_convert(self) -> None:
+        doc = self._read_request_body()
+        request = ConvertRequest.from_dict(doc)
+        if request.src is not None or request.dst is not None or request.topology:
+            raise ConfigurationError(
+                "the HTTP service does not read or write server-side "
+                "files; send the document inline (graph=... + to_fmt=...)"
+            )
+        response = execute(request)
+        self._send(
+            200, response.extra["output"].encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+            headers={
+                "X-Repro-From": response.summary["from"],
+                "X-Repro-To": response.summary["to"],
+                "X-Repro-Request-Key": response.request_key,
+            },
+        )
+
+    def _post_sweep(self) -> None:
+        doc = self._read_request_body()
+        request = SweepRequest.from_dict(doc)
+        n_cells = len(request.expand())
+        server = self.server
+        if n_cells > server.async_threshold:
+            job_id = server.job_store.submit(
+                request.idempotency_key(), n_cells,
+                lambda: execute(request, use_cache=server.use_cache,
+                                jobs=server.jobs),
+            )
+            self._send_json(202, {
+                "job_id": job_id,
+                "poll": f"/jobs/{job_id}",
+                "n_cells": n_cells,
+                "request_key": request.idempotency_key(),
+            })
+            return
+        response = execute(request, use_cache=server.use_cache,
+                           jobs=server.jobs)
+        self._send_json(200, response.to_dict(), headers={
+            "X-Repro-Cache": response.cache,
+            "X-Repro-Request-Key": response.request_key,
+        })
+
+
+def make_server(host: str = "127.0.0.1", port: int = 0,
+                api_key: Optional[str] = None, jobs: int = 1,
+                async_threshold: int = DEFAULT_ASYNC_THRESHOLD,
+                use_cache: bool = True, quiet: bool = False) -> ReproServer:
+    """Bind a :class:`ReproServer` (``port=0`` picks a free port)."""
+    return ReproServer(
+        (host, port), api_key=api_key, jobs=jobs,
+        async_threshold=async_threshold, use_cache=use_cache, quiet=quiet,
+    )
+
+
+def serve(host: str, port: int, api_key: Optional[str] = None,
+          jobs: int = 1, async_threshold: int = DEFAULT_ASYNC_THRESHOLD,
+          use_cache: bool = True) -> int:
+    """Run the service until interrupted (the ``repro serve`` command)."""
+    server = make_server(host, port, api_key=api_key, jobs=jobs,
+                         async_threshold=async_threshold, use_cache=use_cache)
+    bound_host, bound_port = server.server_address[:2]
+    gate = "X-API-Key required" if api_key else "open"
+    sys.stderr.write(
+        f"repro serve: listening on http://{bound_host}:{bound_port} "
+        f"({gate}; sweep jobs={max(1, jobs)}, "
+        f"async threshold={async_threshold} cells)\n"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0

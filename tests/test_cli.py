@@ -101,8 +101,9 @@ class TestScheduleGraph:
         assert "cannot apply" in capsys.readouterr().err
 
     def test_schedule_missing_file_fails(self, capsys):
+        # unreadable input files exit through the error table as "io"
         rc = main(["schedule", "--graph", "/nonexistent/g.stg"])
-        assert rc == 2
+        assert rc == 3
 
     def test_schedule_disconnected_fails_with_hint(self, capsys, tmp_path):
         # the schedulers themselves assume a connected DAG, so there is
@@ -114,7 +115,7 @@ class TestScheduleGraph:
             "3 [cost=1.0]; 0 -> 1 [comm=1.0]; 2 -> 3 [comm=1.0]; }"
         )
         rc = main(["schedule", "--graph", str(f), "-t", "ring", "-p", "4"])
-        assert rc == 2
+        assert rc == 6  # DisconnectedGraphError's documented exit code
         err = capsys.readouterr().err
         assert "connected DAG" in err
         assert "repro convert --allow-disconnected" in err
@@ -125,7 +126,7 @@ class TestScheduleGraph:
             "schedule", "--graph", os.path.join(CORPUS, "forkjoin.stg"),
             "-t", "ring", "-p", "0",
         ])
-        assert rc == 2
+        assert rc == 7  # TopologyError's documented exit code
         assert ">= 3 processors" in capsys.readouterr().err
 
     def test_schedule_graph_warns_about_generator_flags(self, capsys):
@@ -184,11 +185,11 @@ class TestConvert:
             "digraph c { 0 [cost=1.0]; 1 [cost=1.0]; "
             "0 -> 1 [comm=1.0]; 1 -> 0 [comm=1.0]; }"
         )
-        assert main(["convert", str(bad), str(tmp_path / "o.stg")]) == 2
-        assert "convert failed" in capsys.readouterr().err
+        assert main(["convert", str(bad), str(tmp_path / "o.stg")]) == 5
+        assert "repro convert:" in capsys.readouterr().err
 
     def test_convert_missing_input(self, capsys, tmp_path):
-        assert main(["convert", "/no/such.stg", str(tmp_path / "o.dot")]) == 2
+        assert main(["convert", "/no/such.stg", str(tmp_path / "o.dot")]) == 3
 
     def test_convert_default_cost_for_foreign_dot(self, capsys, tmp_path):
         foreign = tmp_path / "plain.dot"
@@ -265,17 +266,17 @@ class TestSimulateReplay:
 
     def test_simulate_bad_scenario_fails(self, capsys):
         assert main(["simulate", "-w", "gauss", "--scenario", "zzz"]) == 2
-        assert "simulate failed" in capsys.readouterr().err
+        assert "repro simulate:" in capsys.readouterr().err
 
     def test_simulate_missing_events_file_fails(self, capsys):
         assert main(["simulate", "-w", "gauss",
-                     "--events", "/no/such.json"]) == 2
+                     "--events", "/no/such.json"]) == 3
 
     def test_replay_rejects_non_bundle(self, tmp_path, capsys):
         bad = tmp_path / "not_bundle.json"
         bad.write_text("{\"format\": \"something-else\"}")
-        assert main(["replay", str(bad)]) == 2
-        assert "replay failed" in capsys.readouterr().err
+        assert main(["replay", str(bad)]) == 9  # SchedulingError
+        assert "repro replay:" in capsys.readouterr().err
 
     def test_replay_flags_corrupted_schedule(self, tmp_path, capsys):
         """Tampered times must fail the replay audit (rc 1)."""

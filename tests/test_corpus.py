@@ -446,4 +446,4 @@ class TestCorpusCli:
         from repro.cli import main
 
         assert main(["corpus", "bench", str(tmp_path)]) == 2
-        assert "corpus bench failed" in capsys.readouterr().err
+        assert "repro corpus:" in capsys.readouterr().err

@@ -105,6 +105,26 @@ class TestReadme:
                 f"README formats table does not list {name!r}"
             )
 
+    def test_readme_error_table_matches_error_registry(self):
+        """The README error-code table is generated from
+        repro.service.errors.ERROR_TABLE — both are committed, so every
+        row (class, kind, exit code, HTTP status) must agree, and every
+        table entry must have a README row."""
+        from repro.service.errors import ERROR_TABLE
+
+        readme = _read("README.md")
+        for exc_type, spec in ERROR_TABLE.items():
+            row = (f"| `{exc_type.__name__}` | `{spec.kind}` "
+                   f"| {spec.exit_code} | {spec.http_status} |")
+            assert row in readme, (
+                f"README error table does not match ERROR_TABLE for "
+                f"{exc_type.__name__}: expected {row!r}"
+            )
+
+    def test_readme_documents_the_fallback_exit_code(self):
+        readme = _read("README.md")
+        assert "70" in readme  # the kind="internal" fallback
+
 
 class TestArchitecture:
     def test_architecture_exists_and_covers_every_layer(self):
@@ -248,3 +268,33 @@ class TestExperimentsSection10:
         spec.loader.exec_module(mod)
         section = _read("EXPERIMENTS.md").split("## 10.")[1]
         assert repr(mod.PINNED_N1000) in section
+
+class TestExperimentsSection11:
+    def test_section_exists_with_commands(self):
+        text = _read("EXPERIMENTS.md")
+        assert "## 11. Scheduling as a service" in text
+        section = text.split("## 11.")[1]
+        assert "bench_serve.py" in section
+        assert "tests/test_service.py" in section
+
+    def test_latency_table_matches_bench(self):
+        """The §11 latency table is generated from BENCH_serve.json —
+        both artifacts are committed, so every row (case, p50 cold/warm,
+        req/s, speedup) must agree."""
+        import json
+
+        report = json.load(
+            open(os.path.join(REPO_ROOT, "BENCH_serve.json"))
+        )
+        section = _read("EXPERIMENTS.md").split("## 11.")[1]
+        squashed = " ".join(section.split())
+        for c in report["cases"]:
+            row = (f"| {c['case']} | {c['cold']['p50_ms']} ms "
+                   f"| {c['cold']['req_per_s']} "
+                   f"| {c['warm']['p50_ms']} ms "
+                   f"| {c['warm']['req_per_s']} "
+                   f"| {c['warm_speedup']}x |")
+            assert " ".join(row.split()) in squashed, (
+                f"EXPERIMENTS §11 table row for {c['case']} does not "
+                f"match BENCH_serve.json: expected {row!r}"
+            )

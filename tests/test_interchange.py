@@ -600,7 +600,7 @@ class TestBridgePolicy:
         with open(src, "w") as fh:
             fh.write(DUMMY_BRIDGED_STG)
         dst = str(tmp_path / "out.trace.json")
-        assert main(["convert", src, dst]) == 2
+        assert main(["convert", src, dst]) == 6
         assert "not weakly connected" in capsys.readouterr().err
         assert main(["convert", src, dst, "--bridge", "epsilon"]) == 0
         wl = load_workload(dst)
