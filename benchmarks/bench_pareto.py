@@ -1,0 +1,100 @@
+"""Pareto-front sweep benchmark: the golden multi-objective cell.
+
+Runs the same fat-tree n=100 cell the equivalence suite pins
+(``tests/test_hotpath_equivalence.py::TestGoldenPareto``) through
+:func:`~repro.experiments.pareto.run_pareto` — every scheduler scored
+on all four objectives — and records:
+
+* the per-algorithm objective vector (rounded for the EXPERIMENTS §12
+  table; the exact floats are pinned by the test suite, not here);
+* the non-dominated front;
+* byte-identity of the serialized artifact between ``--jobs 1`` and
+  ``--jobs 2`` (the acceptance criterion for the service endpoint);
+* wall-clock for the whole sweep (telemetry only — everything else in
+  the artifact is deterministic).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_pareto.py            # default
+    PYTHONPATH=src python benchmarks/bench_pareto.py --preset smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments.config import Cell
+from repro.experiments.pareto import pareto_to_json, run_pareto
+from repro.util.intervals import hotpath_mode
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), "..", "BENCH_pareto.json")
+
+#: the golden Pareto cell (same as the equivalence suite) and a smoke
+#: variant small enough for CI legs
+CELLS = {
+    "default": Cell("regular", "gauss", 100, 1.0, "fattree", "bsa",
+                    n_procs=8, graph_seed=2, system_seed=2),
+    "smoke": Cell("regular", "gauss", 40, 1.0, "ring", "bsa",
+                  n_procs=8, graph_seed=2, system_seed=2),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=("smoke", "default"),
+                        default="default")
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    cell = CELLS[args.preset]
+    t0 = time.perf_counter()
+    doc, report = run_pareto(cell, use_cache=False)
+    elapsed = time.perf_counter() - t0
+    doc2, _ = run_pareto(cell, jobs=2, use_cache=False)
+    jobs_identical = pareto_to_json(doc) == pareto_to_json(doc2)
+    assert jobs_identical, "--jobs 2 artifact drifted from --jobs 1"
+
+    points = []
+    for p in doc["points"]:
+        v = p["values"]
+        points.append({
+            "algorithm": p["algorithm"],
+            "makespan": round(v["makespan"], 1),
+            "energy": round(v["energy"], 1),
+            "reliability": round(v["reliability"], 4),
+            "throughput": round(v["throughput"], 1),
+            "on_front": p["on_front"],
+        })
+        marker = "*" if p["on_front"] else " "
+        print(f"{marker} {p['algorithm']:9s} makespan {v['makespan']:12.1f}  "
+              f"energy {v['energy']:12.1f}  reliability {v['reliability']:.4f}  "
+              f"throughput {v['throughput']:12.1f}")
+    print(f"front: {doc['front']}  ({report.computed} cells in "
+          f"{elapsed:.2f} s, jobs 1 == jobs 2: {jobs_identical})")
+
+    out = {
+        "bench": "pareto",
+        "preset": args.preset,
+        "engine_mode": hotpath_mode(),
+        "cell": cell.key(),
+        "objectives": doc["objectives"],
+        "front": doc["front"],
+        "points": points,
+        "jobs_identical": jobs_identical,
+        "elapsed_s": round(elapsed, 2),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(out, fh, indent=1)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,9 @@ Commands
 * ``example``    — run the paper's worked example with a Gantt chart;
 * ``run``        — execute an experiment sweep through the parallel
   engine (``--jobs N``) with progress and a summary report;
+* ``pareto``     — multi-objective sweep: every algorithm on one
+  workload, scored on makespan / energy / reliability / throughput,
+  emitting the deterministic non-dominated front as JSON;
 * ``experiment`` — regenerate a figure (fig3..fig7, runtime);
 * ``convert``    — translate a task-graph file between the interchange
   formats (stg / dot / trace / json / dax / wfcommons), or normalize a
@@ -229,6 +232,35 @@ def _cmd_run(args) -> int:
     return 1 if failed else 0
 
 
+def _cmd_pareto(args) -> int:
+    from repro.service.pipeline import execute
+    from repro.service.requests import ParetoRequest
+
+    req = ParetoRequest(
+        workload=args.workload, size=args.size,
+        granularity=args.granularity, topology=args.topology,
+        n_procs=args.procs, seed=args.seed, duplex=args.duplex,
+        bandwidth_skew=args.bandwidth_skew,
+        algorithms=tuple(args.algorithms or ()),
+        objectives=tuple(args.objectives or ()),
+    )
+    say = lambda msg: print(f"  {msg}", file=sys.stderr)  # noqa: E731
+    resp = execute(req, jobs=args.jobs,
+                   use_cache=not args.no_cache, progress=say)
+    front = ", ".join(resp.summary["front"])
+    print(f"front: {front} "
+          f"({len(resp.summary['front'])}/{len(resp.summary['points'])} "
+          f"non-dominated)", file=sys.stderr)
+    # stdout carries only the canonical artifact — the same bytes
+    # `POST /pareto` returns for this request
+    print(resp.bundle_text, end="")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(resp.bundle_text)
+        print(f"pareto artifact written to {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_experiment(args) -> int:
     from repro.experiments import figures as F
     from repro.experiments.reporting import (
@@ -381,6 +413,7 @@ def _run_corpus_bench(args, telemetry: bool) -> int:
         jobs=args.jobs,
         use_cache=not getattr(args, "no_cache", False),
         progress=say,
+        objectives=",".join(args.objectives or ()),
     )
     if telemetry:
         # execution telemetry (timings, cache hits) goes to stderr: the
@@ -463,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
     # drift from what the library actually accepts (docs-tested)
     from repro.experiments.config import ALGORITHM_NAMES, TOPOLOGY_NAMES
     from repro.graph.interchange import format_names
+    from repro.objectives.registry import OBJECTIVE_NAMES
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -587,6 +621,36 @@ def build_parser() -> argparse.ArgumentParser:
                    help="recompute every cell, ignore and skip the cache")
     p.set_defaults(func=_cmd_run)
 
+    p = sub.add_parser(
+        "pareto",
+        help="multi-objective sweep: every algorithm on one workload, "
+             "scored on makespan/energy/reliability/throughput, with "
+             "the deterministic non-dominated front",
+    )
+    p.add_argument("--workload", "-w", default="random",
+                   choices=["random", "gauss", "lu", "laplace", "mva"])
+    p.add_argument("--size", "-n", type=int, default=100)
+    p.add_argument("--granularity", "-g", type=float, default=1.0)
+    p.add_argument("--topology", "-t", default="hypercube",
+                   choices=list(TOPOLOGY_NAMES))
+    p.add_argument("--procs", "-p", type=int, default=16)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--duplex", default="half", choices=["half", "full"])
+    p.add_argument("--bandwidth-skew", type=float, default=1.0)
+    p.add_argument("--algorithms", "-a", nargs="+", default=None,
+                   choices=list(ALGORITHM_NAMES),
+                   help="schedulers to compare (default: all)")
+    p.add_argument("--objectives", "-O", nargs="+", default=None,
+                   choices=list(OBJECTIVE_NAMES),
+                   help="objectives to score (default: all; at least two)")
+    p.add_argument("--jobs", "-j", type=int, default=1,
+                   help="worker processes (default: 1, serial)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="recompute every point, ignore and skip the cache")
+    p.add_argument("--out", "-o", default=None,
+                   help="also write the artifact JSON to this file")
+    p.set_defaults(func=_cmd_pareto)
+
     p = sub.add_parser("experiment", help="regenerate a figure")
     p.add_argument("figure", choices=["fig3", "fig4", "fig5", "fig6", "fig7", "runtime"])
     p.add_argument("--scale", choices=["smoke", "default", "full"], default=None)
@@ -682,6 +746,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "through the cell het axes); repeatable")
         sp.add_argument("--het-seed", type=int, default=0,
                         help="seed of the heterogeneity overlay re-sample")
+        sp.add_argument("--objectives", "-O", nargs="+", default=None,
+                        choices=list(OBJECTIVE_NAMES),
+                        help="also score these objectives per cell and "
+                             "append the per-criterion mean table")
         sp.add_argument("--out", "-o", default=None,
                         help="also write the aggregate report to this file")
 
@@ -726,7 +794,8 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve",
         help="run the scheduling service over HTTP (stdlib-only): "
-             "/health /version /schedule /convert /sweep /jobs/<id>",
+             "/health /version /schedule /convert /sweep /pareto "
+             "/jobs/<id>",
     )
     p.add_argument("--host", default="127.0.0.1",
                    help="bind address (default: 127.0.0.1)")

@@ -46,13 +46,15 @@ def run_corpus(
     jobs: int = 1,
     use_cache: bool = True,
     progress=None,
+    objectives: str = "",
 ) -> Tuple[List[Cell], Dict[str, CellResult], SweepReport]:
     """Expand and execute a corpus sweep; returns (cells, results, report).
 
     ``corpus`` may be a directory path, a pre-built :class:`Manifest`,
     or ``None`` for the bundled ``examples/corpus/``. Failures are
     collected in the sweep report rather than raised, so one broken
-    scenario cannot take down a corpus-sized run.
+    scenario cannot take down a corpus-sized run. ``objectives`` (an
+    objectives token) makes every cell score those extra criteria.
     """
     workloads = {}
     if isinstance(corpus, Manifest):
@@ -67,6 +69,7 @@ def run_corpus(
         n_procs=n_procs,
         system_seed=system_seed,
         workloads=workloads,
+        objectives=objectives,
     )
     results, report = run_cells(
         cells,
@@ -206,6 +209,46 @@ def aggregate_report(
                 ndigits=3,
             )
         )
+
+        # per-criterion mean table — only when the sweep scored extra
+        # objectives (cells carry an objectives token), so the default
+        # report is byte-identical to what it always was
+        names: List[str] = []
+        for cell in cells:
+            if cell.objectives:
+                for n in cell.objectives.split(","):
+                    if n not in names:
+                        names.append(n)
+        if names:
+            obj_sum = {a: {n: 0.0 for n in names} for a in algorithms}
+            n_scored = 0
+            for key, _sl in complete:
+                by_algo = scenarios[key]
+                vals = {
+                    a: results[by_algo[a].key()].objectives
+                    for a in algorithms
+                }
+                if any(n not in vals[a] for a in algorithms for n in names):
+                    continue  # scenario ran without (some) objectives
+                n_scored += 1
+                for a in algorithms:
+                    for n in names:
+                        obj_sum[a][n] += vals[a][n]
+            if n_scored:
+                lines.append("")
+                rows = [
+                    [a] + [obj_sum[a][n] / n_scored for n in names]
+                    for a in algorithms
+                ]
+                lines.append(
+                    format_table(
+                        ["algorithm"] + [f"mean {n}" for n in names],
+                        rows,
+                        title=(f"objective means over {n_scored} "
+                               f"scenario(s)"),
+                        ndigits=4,
+                    )
+                )
     return "\n".join(lines)
 
 
@@ -219,13 +262,14 @@ def corpus_bench(
     jobs: int = 1,
     use_cache: bool = True,
     progress=None,
+    objectives: str = "",
 ) -> Tuple[str, SweepReport]:
     """One-call corpus benchmark: run the sweep, render the aggregate.
 
     Returns ``(report text, sweep report)`` — the text is the
     deterministic artifact (suitable for files/CI), the sweep report
     carries the non-deterministic execution telemetry (timings, cache
-    hits, failures).
+    hits, failures). ``objectives`` adds the per-criterion mean table.
     """
     cells, results, sweep = run_corpus(
         corpus,
@@ -237,5 +281,6 @@ def corpus_bench(
         jobs=jobs,
         use_cache=use_cache,
         progress=progress,
+        objectives=objectives,
     )
     return aggregate_report(cells, results, algorithms=algorithms), sweep

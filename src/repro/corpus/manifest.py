@@ -201,15 +201,22 @@ def manifest_cells(
     het_hi: float = 50.0,
     system_seed: int = 0,
     workloads: Optional[Dict[str, ExternalWorkload]] = None,
+    objectives: str = "",
 ) -> List[Cell]:
     """Expand manifest x overlays x topologies x algorithms into cells.
 
     ``n_procs`` applies to scalar files only — files with exec-cost
     vectors pin their own processor count. ``workloads`` (as filled by
     :func:`scan_corpus`) skips re-reading files the scan just parsed.
-    See the module docstring for the auto-bridge and
-    scalar-heterogeneity routing rules.
+    ``objectives`` (an objectives token, e.g. ``"energy,reliability"``)
+    makes every cell score those criteria too — canonicalized once so
+    all cells share one cache-key spelling. See the module docstring
+    for the auto-bridge and scalar-heterogeneity routing rules.
     """
+    if objectives:
+        from repro.objectives.registry import objectives_token
+
+        objectives = objectives_token(objectives)
     cells: List[Cell] = []
     for entry in manifest.entries:
         # one read per file; the workload object carries the hash and
@@ -231,17 +238,20 @@ def manifest_cells(
                 ovl = dataclasses.replace(ovl, het_range=None, het_seed=0)
             for topology in topologies:
                 for algorithm in algorithms:
-                    cells.append(
-                        external_cell(
-                            entry.path,
-                            algorithm=algorithm,
-                            topology=topology,
-                            n_procs=None if entry.n_procs else n_procs,
-                            het_lo=lo,
-                            het_hi=hi,
-                            system_seed=seed,
-                            workload=workload,
-                            overlay=ovl,
-                        )
+                    cell = external_cell(
+                        entry.path,
+                        algorithm=algorithm,
+                        topology=topology,
+                        n_procs=None if entry.n_procs else n_procs,
+                        het_lo=lo,
+                        het_hi=hi,
+                        system_seed=seed,
+                        workload=workload,
+                        overlay=ovl,
                     )
+                    if objectives:
+                        cell = dataclasses.replace(
+                            cell, objectives=objectives
+                        )
+                    cells.append(cell)
     return cells

@@ -25,7 +25,7 @@ from repro.errors import ConfigurationError
 #: figure reproductions compare BSA vs DLS (Scale.algorithms); the rest
 #: are extensions. The CLI derives its --algorithm choices from this
 #: tuple, and a docs test pins it to the runner registry and README.
-ALGORITHM_NAMES = ("bsa", "dls", "heft", "cpop", "etf")
+ALGORITHM_NAMES = ("bsa", "dls", "heft", "cpop", "etf", "spdecomp")
 
 #: every topology family build_topology() accepts: the paper's four
 #: 16-processor networks plus the heterogeneous-link extensions. The
@@ -67,10 +67,19 @@ class Cell:
     #: see repro.dynamic.events.parse_scenario). Scenario cells report
     #: metrics of the *final* schedule after all events are repaired.
     scenario: str = ""
+    #: extra objectives to evaluate on the committed schedule, as a
+    #: comma-separated token ("" = makespan-only, the historical
+    #: behaviour; e.g. "energy,reliability" — see
+    #: repro.objectives.parse_objectives). The key() suffix uses the
+    #: *canonical* spelling, so reordering the token never changes the
+    #: cache key.
+    objectives: str = ""
 
     def key(self) -> str:
         """Stable cache key (link-model axes appended only when
         non-default, so pre-existing cache entries stay addressable)."""
+        from repro.objectives.registry import objectives_token
+
         base = (
             f"{self.suite}/{self.app}/n{self.size}/g{self.granularity:g}/"
             f"{self.topology}{self.n_procs}/{self.algorithm}/"
@@ -81,6 +90,8 @@ class Cell:
             base += f"/dx{self.duplex}/bw{self.bandwidth_skew:g}"
         if self.scenario:
             base += f"/sc{self.scenario}"
+        if self.objectives:
+            base += f"/obj{objectives_token(self.objectives)}"
         return base
 
 

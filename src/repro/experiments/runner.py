@@ -43,7 +43,9 @@ from repro.baselines.cpop import schedule_cpop
 from repro.baselines.dls import DLSOptions, schedule_dls
 from repro.baselines.etf import schedule_etf
 from repro.baselines.heft import schedule_heft
+from repro.baselines.spdecomp import schedule_spdecomp
 from repro.core.bsa import BSAOptions, schedule_bsa
+from repro.objectives.registry import evaluate_objectives
 from repro.schedule.metrics import compute_metrics
 from repro.schedule.validator import validate_schedule
 from repro.workloads.external import EXTERNAL_SUITE, resolve_external
@@ -64,6 +66,10 @@ class CellResult:
     #: events survived by a scenario cell (0 for static cells; absent
     #: from pre-existing cache entries, which deserialize to 0)
     n_events: int = 0
+    #: extra objective values ({} for makespan-only cells; absent from
+    #: pre-existing cache entries, which deserialize to {}). Keys are
+    #: canonical objective names — see repro.objectives.
+    objectives: Dict[str, float] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return asdict(self)
@@ -161,6 +167,7 @@ _SCHEDULERS: Dict[str, Callable] = {
     "heft": schedule_heft,
     "cpop": schedule_cpop,
     "etf": schedule_etf,
+    "spdecomp": schedule_spdecomp,
     # --- ablations -----------------------------------------------------
     "bsa-literal": lambda system: schedule_bsa(
         system,
@@ -227,7 +234,14 @@ def run_cell(
                                 compare_replan=False)
         runtime += time.perf_counter() - t0
         n_events = len(sim.records)
+        schedule = sim.schedule
     metrics = compute_metrics(schedule)
+    # extra objectives score the same committed schedule the metrics
+    # describe (for scenario cells: the final, post-repair schedule)
+    objective_values = (
+        evaluate_objectives(schedule, cell.objectives)
+        if cell.objectives else {}
+    )
     result = CellResult(
         schedule_length=metrics.schedule_length,
         total_comm_cost=metrics.total_comm_cost,
@@ -237,6 +251,7 @@ def run_cell(
         n_tasks=system.graph.n_tasks,
         n_edges=system.graph.n_edges,
         n_events=n_events,
+        objectives=objective_values,
     )
     if use_cache:
         cache.put(cell.key(), stamp_provenance(result.to_dict(), cell.key()))

@@ -70,6 +70,15 @@ class HeterogeneousSystem:
         self._per_link: Dict[Link, float] = dict(per_link_factors or {})
         if link_mode is LinkHeterogeneity.PER_LINK and not self._per_link:
             raise ConfigurationError("PER_LINK mode requires per_link_factors")
+        # optional multi-criteria models (repro.objectives): a
+        # PowerModel / ReliabilityModel bound to this platform. None
+        # means "use the deterministic defaults" — evaluators fall back
+        # to PowerModel.uniform / ReliabilityModel.uniform, so every
+        # system has well-defined energy and reliability. Kept as plain
+        # attributes (not constructor args) so the network layer stays
+        # free of an objectives import.
+        self.power_model = None       # Optional[PowerModel]
+        self.failure_model = None     # Optional[ReliabilityModel]
         # fast-path memo for comm_cost: every factor source is a pure
         # function of (edge, link) for a fixed system, so caching is exact.
         self._comm_cache: Dict[Tuple[Tuple[TaskId, TaskId], Link], float] = {}

@@ -1,0 +1,142 @@
+"""Energy objective: a frequency/idle-power model per processor plus
+link transfer energy over the per-link bandwidth/duplex substrate.
+
+The model follows the classic CMOS decomposition the multi-criteria
+scheduling literature uses (Benoit/Rehn-Sonigo/Robert, PAPERS.md):
+
+* **busy power** — a processor executing a task draws
+  ``alpha * f_p**3 + idle_p`` per time unit (dynamic power cubic in the
+  relative clock ``f_p``, on top of its static leakage);
+* **idle power** — a powered-on processor draws ``idle_p`` per time
+  unit whenever it is not executing, until the schedule finishes (no
+  shutdown: the platform is on for the whole makespan);
+* **link energy** — every committed message hop draws ``link_power``
+  per time unit of its duration. Hop durations already include the
+  per-link bandwidth divisor and the duplex channel discipline, so the
+  link substrate's heterogeneity flows into energy for free.
+
+Because ``alpha > 0`` and ``f_p > 0``, busy power strictly exceeds idle
+power on every processor — which makes "energy strictly increases when
+any execution cost increases" a theorem, not a hope (the property suite
+in ``tests/test_objectives.py`` checks it on randomized schedules).
+
+A model can be attached to a :class:`~repro.network.system.
+HeterogeneousSystem` (``system.power_model``); unattached systems fall
+back to :meth:`PowerModel.uniform`, which is deterministic, so every
+schedule has a well-defined energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.util.rng import RngStream
+
+__all__ = ["PowerModel", "schedule_energy"]
+
+#: default static leakage per processor (per time unit)
+DEFAULT_IDLE_POWER = 0.25
+#: default energy draw of a busy link channel (per time unit)
+DEFAULT_LINK_POWER = 0.5
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-processor frequency/idle-power model (see module docstring)."""
+
+    #: relative clock per processor (dynamic power ~ alpha * f**3)
+    frequencies: Tuple[float, ...]
+    #: static leakage per processor, drawn busy or idle
+    idle_power: Tuple[float, ...]
+    #: energy draw per time unit of a busy link channel
+    link_power: float = DEFAULT_LINK_POWER
+    #: dynamic-power coefficient
+    alpha: float = 1.0
+
+    def __post_init__(self):
+        if len(self.frequencies) != len(self.idle_power):
+            raise ConfigurationError(
+                f"power model has {len(self.frequencies)} frequencies but "
+                f"{len(self.idle_power)} idle powers"
+            )
+        if not self.frequencies:
+            raise ConfigurationError("power model needs at least one processor")
+        if any(f <= 0 for f in self.frequencies):
+            raise ConfigurationError("frequencies must be positive")
+        if any(p < 0 for p in self.idle_power):
+            raise ConfigurationError("idle powers must be >= 0")
+        if self.link_power < 0:
+            raise ConfigurationError("link power must be >= 0")
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.frequencies)
+
+    def busy_power(self, proc: int) -> float:
+        """Power drawn while executing: ``alpha * f**3 + idle`` — always
+        strictly above :attr:`idle_power` (alpha and f are positive)."""
+        f = self.frequencies[proc]
+        return self.alpha * f * f * f + self.idle_power[proc]
+
+    @classmethod
+    def uniform(cls, n_procs: int) -> "PowerModel":
+        """The default model: unit clocks, uniform leakage."""
+        return cls(
+            frequencies=(1.0,) * n_procs,
+            idle_power=(DEFAULT_IDLE_POWER,) * n_procs,
+        )
+
+    @classmethod
+    def sample(cls, n_procs: int, seed: int = 0,
+               freq_range: Tuple[float, float] = (0.5, 2.0)) -> "PowerModel":
+        """Deterministically sampled heterogeneous model (property tests
+        and experiments): clocks from ``U[freq_range]``, leakage a fixed
+        fraction of each clock."""
+        lo, hi = freq_range
+        if not (0 < lo <= hi):
+            raise ConfigurationError(f"bad frequency range [{lo}, {hi}]")
+        rng = RngStream(seed).fork("power-model", n_procs)
+        freqs = tuple(rng.uniform(lo, hi) for _ in range(n_procs))
+        return cls(
+            frequencies=freqs,
+            idle_power=tuple(DEFAULT_IDLE_POWER * f for f in freqs),
+        )
+
+
+def schedule_energy(schedule, model: Optional[PowerModel] = None) -> float:
+    """Total energy of a committed schedule under ``model`` (default:
+    the system's attached model, else :meth:`PowerModel.uniform`).
+
+    Deterministic reduction: processors in topology order, slots in
+    processor-order, hops in channel order — the same containers the
+    schedule serializes from, so byte-identical schedules give
+    byte-identical energies.
+    """
+    system = schedule.system
+    if model is None:
+        model = getattr(system, "power_model", None) or PowerModel.uniform(
+            system.n_procs
+        )
+    if model.n_procs != system.n_procs:
+        raise ConfigurationError(
+            f"power model covers {model.n_procs} processors; the system "
+            f"has {system.n_procs}"
+        )
+    sl = schedule.schedule_length()
+    total = 0.0
+    for proc in system.topology.processors:
+        busy = 0.0
+        bp = model.busy_power(proc)
+        for task in schedule.proc_order[proc]:
+            d = schedule.slots[task].duration
+            total += bp * d
+            busy += d
+        total += model.idle_power[proc] * (sl - busy)
+    for channel in schedule.link_order:
+        for hop in schedule.link_order[channel]:
+            total += model.link_power * hop.duration
+    return total

@@ -1,0 +1,148 @@
+"""Reliability objective: schedule success probability under
+exponential per-processor / per-link failure rates.
+
+The model is the standard one (Benoit et al., PAPERS.md): a resource
+with failure rate ``lambda`` survives an interval of length ``d`` with
+probability ``exp(-lambda * d)``. A schedule succeeds when every task
+execution and every message hop survives, so its reliability is the
+product over all slots and hops — a value in ``(0, 1]`` that is
+monotone non-increasing in every rate (the property suite checks both).
+
+**Replication.** With ``replication = r > 1`` each task is notionally
+executed by ``r`` independent replicas and succeeds when at least one
+does: the per-task term becomes ``1 - (1 - exp(-lambda*d))**r``.
+Replication models the fault-tolerance knob the multi-criteria
+literature trades against energy — it never changes the schedule
+itself, only the success probability attributed to it.
+
+**Reuse of the failure machinery.** :meth:`ReliabilityModel.
+from_scenario` derives rates from the same
+:class:`~repro.dynamic.events.Scenario` tokens the failure injector
+consumes (``"f1l2a0s7"``): the expected event counts over a horizon
+become per-resource rates, so the analytic model and the injected-event
+simulation describe the same failure regime.
+
+A model can be attached to a :class:`~repro.network.system.
+HeterogeneousSystem` (``system.failure_model``); unattached systems
+fall back to :meth:`ReliabilityModel.uniform`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ReliabilityModel", "schedule_reliability"]
+
+#: default per-processor failure rate (per time unit)
+DEFAULT_PROC_RATE = 1e-5
+#: default per-link failure rate (per time unit)
+DEFAULT_LINK_RATE = 1e-5
+
+
+@dataclass(frozen=True)
+class ReliabilityModel:
+    """Exponential failure rates per processor and per link channel."""
+
+    #: failure rate of each processor (per time unit)
+    proc_rates: Tuple[float, ...]
+    #: failure rate of every link channel (per time unit)
+    link_rate: float = DEFAULT_LINK_RATE
+    #: independent replicas per task (1 = no replication)
+    replication: int = 1
+
+    def __post_init__(self):
+        if not self.proc_rates:
+            raise ConfigurationError(
+                "reliability model needs at least one processor"
+            )
+        if any(r < 0 for r in self.proc_rates):
+            raise ConfigurationError("processor failure rates must be >= 0")
+        if self.link_rate < 0:
+            raise ConfigurationError("link failure rate must be >= 0")
+        if not isinstance(self.replication, int) or self.replication < 1:
+            raise ConfigurationError(
+                f"replication must be an int >= 1, got {self.replication!r}"
+            )
+
+    @property
+    def n_procs(self) -> int:
+        return len(self.proc_rates)
+
+    def link_rate_for(self, link) -> float:
+        """Failure rate of one link channel (uniform today; the hook is
+        per-link so heterogeneous rates slot in without touching the
+        evaluator)."""
+        return self.link_rate
+
+    @classmethod
+    def uniform(cls, n_procs: int, proc_rate: float = DEFAULT_PROC_RATE,
+                link_rate: float = DEFAULT_LINK_RATE,
+                replication: int = 1) -> "ReliabilityModel":
+        return cls(
+            proc_rates=(proc_rate,) * n_procs,
+            link_rate=link_rate,
+            replication=replication,
+        )
+
+    @classmethod
+    def from_scenario(cls, scenario, system, horizon: float,
+                      replication: int = 1) -> "ReliabilityModel":
+        """Rates implied by a failure-injection scenario over ``horizon``
+        time units: the scenario's expected event counts, spread evenly
+        over the system's resources, become per-resource rates — so the
+        analytic reliability and a :class:`~repro.dynamic.events.
+        FailureInjector` run describe the same regime."""
+        from repro.dynamic.events import Scenario, parse_scenario
+
+        if not isinstance(scenario, Scenario):
+            scenario = parse_scenario(scenario)
+        if horizon <= 0:
+            raise ConfigurationError(
+                f"scenario horizon must be positive, got {horizon}"
+            )
+        n_procs = system.n_procs
+        n_channels = max(1, len(list(system.topology.channels())))
+        proc_rate = scenario.n_proc_failures / (n_procs * horizon)
+        link_rate = scenario.n_link_failures / (n_channels * horizon)
+        return cls(
+            proc_rates=(proc_rate,) * n_procs,
+            link_rate=link_rate,
+            replication=replication,
+        )
+
+
+def schedule_reliability(
+    schedule, model: Optional[ReliabilityModel] = None
+) -> float:
+    """Success probability of a committed schedule under ``model``
+    (default: the system's attached model, else
+    :meth:`ReliabilityModel.uniform`). Always in ``(0, 1]``.
+    """
+    system = schedule.system
+    if model is None:
+        model = getattr(system, "failure_model", None) or (
+            ReliabilityModel.uniform(system.n_procs)
+        )
+    if model.n_procs != system.n_procs:
+        raise ConfigurationError(
+            f"reliability model covers {model.n_procs} processors; the "
+            f"system has {system.n_procs}"
+        )
+    total = 1.0
+    # tasks in graph order (the same stable order every engine sees)
+    for task in system.graph.tasks():
+        slot = schedule.slots.get(task)
+        if slot is None:
+            continue  # partial schedules: score what is committed
+        r = math.exp(-model.proc_rates[slot.proc] * slot.duration)
+        if model.replication > 1:
+            r = 1.0 - (1.0 - r) ** model.replication
+        total *= r
+    for channel in schedule.link_order:
+        for hop in schedule.link_order[channel]:
+            total *= math.exp(-model.link_rate_for(hop.link) * hop.duration)
+    return total

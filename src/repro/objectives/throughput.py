@@ -1,0 +1,55 @@
+"""Throughput objective: steady-state period of pipelined instances.
+
+When the same task graph is executed on successive data sets (a
+pipelined workflow — the setting of Benoit/Rehn-Sonigo/Robert's
+multi-criteria study, PAPERS.md), consecutive instances can overlap:
+instance ``k+1`` starts on each resource as soon as instance ``k`` has
+released it. In the steady state the initiation interval (the *period*)
+is set by the bottleneck resource — the processor or link channel with
+the most total busy time per instance:
+
+    period = max over resources of (total busy time on that resource)
+
+The objective value is the period itself (minimized; throughput is its
+reciprocal). The property suite checks the defining invariant: the
+period is never smaller than any single resource's busy time.
+
+Like every objective, this is a pure reduction over the committed
+schedule's containers — no simulation, no wall clock — so engine modes
+agree byte-for-byte.
+"""
+
+from __future__ import annotations
+
+__all__ = ["schedule_throughput", "bottleneck_busy_times"]
+
+
+def bottleneck_busy_times(schedule) -> dict:
+    """Total busy time per resource: ``{("proc", p) | ("link", ch): t}``.
+
+    Processors accumulate their slot durations, link channels their hop
+    durations, both in container order.
+    """
+    out = {}
+    system = schedule.system
+    for proc in system.topology.processors:
+        busy = 0.0
+        for task in schedule.proc_order[proc]:
+            busy += schedule.slots[task].duration
+        out[("proc", proc)] = busy
+    for channel in schedule.link_order:
+        busy = 0.0
+        for hop in schedule.link_order[channel]:
+            busy += hop.duration
+        out[("link", channel)] = busy
+    return out
+
+
+def schedule_throughput(schedule) -> float:
+    """Steady-state period of pipelined instances of this schedule:
+    the maximum per-resource busy time (see module docstring)."""
+    best = 0.0
+    for busy in bottleneck_busy_times(schedule).values():
+        if busy > best:
+            best = busy
+    return best

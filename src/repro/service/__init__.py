@@ -4,7 +4,8 @@ This package is the single front door for "give me a schedule":
 
 * :mod:`repro.service.requests` — typed request objects
   (:class:`ScheduleRequest`, :class:`ConvertRequest`,
-  :class:`SweepRequest`, :class:`SimulateRequest`) with strict JSON
+  :class:`SweepRequest`, :class:`SimulateRequest`,
+  :class:`ParetoRequest`) with strict JSON
   (de)serialization and canonical idempotency keys built from the same
   content-hash / overlay / scenario token grammar the experiment cache
   uses;
@@ -21,7 +22,8 @@ This package is the single front door for "give me a schedule":
   idempotency key (with provenance-checked entries);
 * :mod:`repro.service.http` — ``repro serve``: a zero-dependency
   ``ThreadingHTTPServer`` speaking JSON over ``/health``, ``/version``,
-  ``/schedule``, ``/convert``, ``/sweep`` and ``/jobs/<id>``.
+  ``/schedule``, ``/convert``, ``/sweep``, ``/pareto`` and
+  ``/jobs/<id>``.
 """
 
 from repro.service.errors import (
@@ -33,6 +35,7 @@ from repro.service.errors import (
 )
 from repro.service.requests import (
     ConvertRequest,
+    ParetoRequest,
     ScheduleRequest,
     SimulateRequest,
     SweepRequest,
@@ -50,6 +53,7 @@ __all__ = [
     "ConvertRequest",
     "SweepRequest",
     "SimulateRequest",
+    "ParetoRequest",
     "request_from_dict",
     "ServiceResponse",
     "execute",

@@ -24,6 +24,9 @@ Endpoints
   server's ``--async-threshold`` run synchronously (200 + full result);
   larger grids return ``202`` with a job id immediately and run on the
   job worker over the existing process pool.
+* ``POST /pareto`` — a :class:`ParetoRequest` multi-objective sweep;
+  the response body is the canonical Pareto artifact JSON,
+  byte-identical to ``repro pareto`` stdout for the same request.
 * ``GET /jobs/<id>`` — poll an async job: status, then the full result
   payload (with cache/provenance metadata) once done.
 
@@ -48,6 +51,7 @@ from repro.service.errors import error_payload, http_status_for
 from repro.service.pipeline import execute
 from repro.service.requests import (
     ConvertRequest,
+    ParetoRequest,
     ScheduleRequest,
     SweepRequest,
 )
@@ -257,6 +261,8 @@ class _Handler(BaseHTTPRequestHandler):
                 self._post_convert()
             elif self.path == "/sweep":
                 self._post_sweep()
+            elif self.path == "/pareto":
+                self._post_pareto()
             else:
                 self._not_found(f"no such endpoint POST {self.path}")
         except Exception as exc:  # noqa: BLE001 - rendered structurally
@@ -297,6 +303,21 @@ class _Handler(BaseHTTPRequestHandler):
             headers={
                 "X-Repro-From": response.summary["from"],
                 "X-Repro-To": response.summary["to"],
+                "X-Repro-Request-Key": response.request_key,
+            },
+        )
+
+    def _post_pareto(self) -> None:
+        doc = self._read_request_body()
+        request = ParetoRequest.from_dict(doc)
+        response = execute(request, use_cache=self.server.use_cache,
+                           jobs=self.server.jobs)
+        # the body IS the canonical Pareto artifact — byte-identical to
+        # `repro pareto` stdout for the same request
+        self._send(
+            200, response.bundle_text.encode("utf-8"),
+            headers={
+                "X-Repro-Cache": response.cache,
                 "X-Repro-Request-Key": response.request_key,
             },
         )

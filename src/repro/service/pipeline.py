@@ -39,6 +39,7 @@ from typing import Any, Callable, Dict, Optional
 from repro.errors import ConfigurationError, DisconnectedGraphError
 from repro.service.requests import (
     ConvertRequest,
+    ParetoRequest,
     ScheduleRequest,
     SimulateRequest,
     SweepRequest,
@@ -367,6 +368,37 @@ def _execute_sweep(req: SweepRequest, cache, use_cache: bool, jobs: int,
     )
 
 
+def _execute_pareto(req: ParetoRequest, cache, use_cache: bool, jobs: int,
+                    progress: Optional[Callable[[str], None]]) -> ServiceResponse:
+    from repro.experiments.cache import provenance_stamp
+    from repro.experiments.pareto import pareto_to_json, run_pareto
+
+    key = req.idempotency_key()
+    doc, report = run_pareto(
+        req.base_cell(),
+        algorithms=req.resolved_algorithms(),
+        objectives=req.resolved_objectives(),
+        jobs=jobs, cache=cache, use_cache=use_cache, progress=progress,
+    )
+    # the canonical artifact rides in bundle_text: both transports (CLI
+    # stdout, HTTP body) emit this exact string
+    text = pareto_to_json(doc)
+    summary = {
+        "objectives": doc["objectives"],
+        "senses": doc["senses"],
+        "points": doc["points"],
+        "front": doc["front"],
+    }
+    return ServiceResponse(
+        kind=req.TYPE, request_key=key,
+        cache="off" if not use_cache
+        else ("hit" if report.computed == 0 else "miss"),
+        summary=summary, bundle_text=text,
+        provenance=provenance_stamp(key),
+        extra={"doc": doc, "report": report},
+    )
+
+
 def _execute_simulate(req: SimulateRequest) -> ServiceResponse:
     from repro.dynamic import (
         FailureInjector,
@@ -448,6 +480,8 @@ def execute(
         resp = _execute_sweep(request, cache, use_cache, jobs, progress)
     elif isinstance(request, SimulateRequest):
         resp = _execute_simulate(request)
+    elif isinstance(request, ParetoRequest):
+        resp = _execute_pareto(request, cache, use_cache, jobs, progress)
     else:
         raise ConfigurationError(
             f"not a service request: {type(request).__name__}"

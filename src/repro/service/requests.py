@@ -54,6 +54,7 @@ __all__ = [
     "ConvertRequest",
     "SweepRequest",
     "SimulateRequest",
+    "ParetoRequest",
     "request_from_dict",
     "REQUEST_TYPES",
 ]
@@ -112,7 +113,8 @@ def _from_dict(cls, data) -> Any:
         )
     kwargs = {k: v for k, v in data.items() if k in names}
     for name in ("apps", "sizes", "granularities", "topologies",
-                 "algorithms", "graph_seeds", "system_seeds", "scenarios"):
+                 "algorithms", "graph_seeds", "system_seeds", "scenarios",
+                 "objectives"):
         if name in kwargs and isinstance(kwargs[name], list):
             kwargs[name] = tuple(kwargs[name])
     req = cls(**kwargs)
@@ -525,10 +527,116 @@ class SimulateRequest(_RequestBase):
         return f"simulate/{base}/{suffix}"
 
 
+# ----------------------------------------------------------------------
+# pareto
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParetoRequest(_RequestBase):
+    """A multi-objective Pareto sweep: one generated workload, every
+    requested algorithm, scored against every requested objective (the
+    ``repro pareto`` CLI and the ``/pareto`` endpoint).
+
+    Empty ``algorithms``/``objectives`` mean "all of them" — the
+    resolved spelling is what the idempotency key records, so the
+    explicit and the defaulted request are the same computation.
+    """
+
+    TYPE = "pareto"
+
+    workload: str = "random"             # random | gauss | lu | laplace | mva
+    size: int = 100
+    granularity: float = 1.0
+    topology: str = "hypercube"
+    n_procs: int = 16
+    het_lo: float = 1.0
+    het_hi: float = 50.0
+    seed: int = 0
+    duplex: str = "half"
+    bandwidth_skew: float = 1.0
+    algorithms: Tuple[str, ...] = ()     # () = every registered algorithm
+    objectives: Tuple[str, ...] = ()     # () = every registered objective
+
+    def resolved_algorithms(self) -> Tuple[str, ...]:
+        from repro.experiments.config import ALGORITHM_NAMES
+
+        return self.algorithms or ALGORITHM_NAMES
+
+    def resolved_objectives(self) -> Tuple[str, ...]:
+        from repro.objectives.registry import (
+            OBJECTIVE_NAMES,
+            parse_objectives,
+        )
+
+        return parse_objectives(self.objectives or OBJECTIVE_NAMES)
+
+    def validate(self) -> None:
+        from repro.experiments.config import ALGORITHM_NAMES, TOPOLOGY_NAMES
+        from repro.errors import ConfigurationError as _CE
+
+        kind = type(self).__name__
+        _want(kind, "workload", self.workload, str)
+        _want(kind, "size", self.size, int)
+        if self.size < 1:
+            raise _CE(f"{kind}.size must be >= 1, got {self.size}")
+        _positive(kind, "granularity", self.granularity)
+        _choice(kind, "topology", self.topology, TOPOLOGY_NAMES)
+        _want(kind, "n_procs", self.n_procs, int)
+        _positive(kind, "het_lo", self.het_lo)
+        _positive(kind, "het_hi", self.het_hi)
+        _want(kind, "seed", self.seed, int)
+        _choice(kind, "duplex", self.duplex, _DUPLEXES)
+        _positive(kind, "bandwidth_skew", self.bandwidth_skew)
+        if not isinstance(self.algorithms, tuple):
+            raise _CE(f"{kind}.algorithms must be a list")
+        seen = set()
+        for a in self.algorithms:
+            _choice(kind, "algorithms[]", a, ALGORITHM_NAMES)
+            if a in seen:
+                raise _CE(f"{kind}: duplicate algorithm {a!r}")
+            seen.add(a)
+        if not isinstance(self.objectives, tuple):
+            raise _CE(f"{kind}.objectives must be a list")
+        resolved = self.resolved_objectives()  # rejects unknown/duplicates
+        if len(resolved) < 2:
+            raise _CE(
+                f"{kind}: a Pareto sweep needs at least two objectives, "
+                f"got {list(resolved)}"
+            )
+
+    def base_cell(self):
+        """The algorithm-free cell every point of the sweep shares."""
+        from repro.experiments.config import Cell
+
+        suite = "regular" if self.workload != "random" else "random"
+        return Cell(
+            suite=suite, app=self.workload, size=self.size,
+            granularity=self.granularity, topology=self.topology,
+            algorithm=self.resolved_algorithms()[0],
+            het_lo=self.het_lo, het_hi=self.het_hi,
+            n_procs=self.n_procs,
+            graph_seed=self.seed, system_seed=self.seed,
+            duplex=self.duplex, bandwidth_skew=self.bandwidth_skew,
+        )
+
+    def idempotency_key(self) -> str:
+        from repro.objectives.registry import objectives_token
+
+        algos = ",".join(self.resolved_algorithms())
+        return (
+            f"pareto/{self.workload}/n{self.size}/g{self.granularity:g}/"
+            f"{self.topology}{self.n_procs}/"
+            f"het{self.het_lo:g}-{self.het_hi:g}/"
+            f"dx{self.duplex}/bw{self.bandwidth_skew:g}/s{self.seed}/"
+            f"a[{algos}]/o[{objectives_token(self.resolved_objectives())}]"
+        )
+
+
 #: request type registry for transport-level dispatch
 REQUEST_TYPES: Dict[str, Type[_RequestBase]] = {
     cls.TYPE: cls
-    for cls in (ScheduleRequest, ConvertRequest, SweepRequest, SimulateRequest)
+    for cls in (ScheduleRequest, ConvertRequest, SweepRequest,
+                SimulateRequest, ParetoRequest)
 }
 
 

@@ -396,6 +396,57 @@ class TestBench:
         plain = aggregate_report(plain_cells, plain_results, ("heft",))
         assert "~het" not in plain
 
+    def test_objectives_report_byte_identical_across_modes_and_jobs(
+        self, restore_mode
+    ):
+        """PR 9: the per-criterion mean table rides the same determinism
+        contract as the rest of the report — byte-identical across the
+        four engine modes and independent of --jobs."""
+        reports = {}
+        for mode in MODES:
+            set_hotpath_mode(mode)
+            report, sweep = corpus_bench(
+                CORPUS_DIR, topologies=("ring",), algorithms=("bsa", "heft"),
+                jobs=1, use_cache=False, objectives="energy,reliability",
+            )
+            assert not sweep.failures
+            reports[mode] = report
+        assert (reports["legacy"] == reports["fast"]
+                == reports["incremental"] == reports["array"])
+        assert "objective means over" in reports["legacy"]
+        assert "mean energy" in reports["legacy"]
+        assert "mean reliability" in reports["legacy"]
+        set_hotpath_mode("incremental")
+        parallel, _ = corpus_bench(
+            CORPUS_DIR, topologies=("ring",), algorithms=("bsa", "heft"),
+            jobs=2, use_cache=False, objectives="energy,reliability",
+        )
+        assert parallel == reports["incremental"]
+
+    def test_objectives_axis_changes_cache_key(self):
+        """The objectives token is cache-key-visible (canonicalized), so
+        a scored sweep can never alias a makespan-only sweep."""
+        manifest = scan_corpus(CORPUS_DIR)
+        plain = manifest_cells(manifest, topologies=("ring",),
+                               algorithms=("heft",))
+        scored = manifest_cells(manifest, topologies=("ring",),
+                                algorithms=("heft",),
+                                objectives="reliability,energy")
+        respelled = manifest_cells(manifest, topologies=("ring",),
+                                   algorithms=("heft",),
+                                   objectives="energy,reliability")
+        for p, s, r in zip(plain, scored, respelled):
+            assert p.key() != s.key()
+            assert s.key() == r.key()
+            assert s.objectives == "energy,reliability"
+
+    def test_default_report_has_no_objectives_table(self):
+        report, _ = corpus_bench(
+            CORPUS_DIR, topologies=("ring",), algorithms=("heft",),
+            jobs=1, use_cache=False,
+        )
+        assert "objective means" not in report
+
     def test_aggregate_report_notes_missing_cells(self):
         cells, results, _ = run_corpus(
             CORPUS_DIR, topologies=("ring",), use_cache=False,
@@ -441,6 +492,18 @@ class TestCorpusCli:
         captured = capsys.readouterr()
         assert "scheduler ordering" in captured.out
         assert "sweep:" not in captured.err
+
+    def test_bench_objectives_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        from repro.cli import main
+
+        assert main([
+            "corpus", "bench", CORPUS_DIR, "-t", "ring", "-a", "bsa", "heft",
+            "-O", "energy", "reliability",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "objective means over" in out
+        assert "mean energy" in out and "mean reliability" in out
 
     def test_bench_missing_corpus(self, tmp_path, capsys):
         from repro.cli import main

@@ -298,3 +298,56 @@ class TestExperimentsSection11:
                 f"EXPERIMENTS §11 table row for {c['case']} does not "
                 f"match BENCH_serve.json: expected {row!r}"
             )
+
+
+class TestExperimentsSection12:
+    def test_section_exists_with_commands(self):
+        text = _read("EXPERIMENTS.md")
+        assert "## 12. Multi-objective scheduling" in text
+        section = text.split("## 12.")[1]
+        assert "bench_pareto.py" in section
+        assert "repro pareto" in section
+        assert "tests/test_objectives.py" in section
+
+    def test_pareto_table_matches_bench(self):
+        """The §12 table is generated from BENCH_pareto.json — both
+        artifacts are committed, so every row (per-algorithm objective
+        vector and front membership) must agree."""
+        import json
+
+        report = json.load(
+            open(os.path.join(REPO_ROOT, "BENCH_pareto.json"))
+        )
+        assert report["jobs_identical"], (
+            "committed bench violates its own --jobs byte-identity check"
+        )
+        section = _read("EXPERIMENTS.md").split("## 12.")[1]
+        squashed = " ".join(section.split())
+        for p in report["points"]:
+            row = (f"| {p['algorithm']} | {p['makespan']} | {p['energy']} "
+                   f"| {p['reliability']} | {p['throughput']} "
+                   f"| {'yes' if p['on_front'] else 'no'} |")
+            assert " ".join(row.split()) in squashed, (
+                f"EXPERIMENTS §12 table row for {p['algorithm']} does "
+                f"not match BENCH_pareto.json: expected {row!r}"
+            )
+        for algo in report["front"]:
+            assert algo in section
+
+    def test_front_matches_equivalence_suite(self):
+        """§12's front must be the same front the golden Pareto pin in
+        the equivalence suite enforces."""
+        import importlib.util
+        import json
+
+        spec = importlib.util.spec_from_file_location(
+            "hotpath_equiv",
+            os.path.join(REPO_ROOT, "tests", "test_hotpath_equivalence.py"),
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        report = json.load(
+            open(os.path.join(REPO_ROOT, "BENCH_pareto.json"))
+        )
+        assert report["front"] == mod.PINNED_PARETO_FRONT
+        assert report["cell"] == mod.CELL_PARETO.key()

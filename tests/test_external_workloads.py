@@ -147,9 +147,10 @@ class TestCorpus:
 
     def test_corpus_cells_grid(self):
         cells = corpus_cells(CORPUS_DIR)
-        # 3 files x 2 topologies x 5 algorithms
-        assert len(cells) == 30
-        assert {c.algorithm for c in cells} == {"bsa", "dls", "heft", "cpop", "etf"}
+        # 3 files x 2 topologies x 6 algorithms
+        assert len(cells) == 36
+        assert {c.algorithm for c in cells} == {
+            "bsa", "dls", "heft", "cpop", "etf", "spdecomp"}
         assert all(c.n_procs == 8 for c in cells)
 
     def test_missing_corpus_rejected(self, tmp_path):

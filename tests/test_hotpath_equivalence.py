@@ -18,12 +18,16 @@ incremental settle, undo-log rollback):
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.core.bsa import BSAOptions, schedule_bsa
 from repro.experiments.config import Cell
 from repro.experiments.paper_example import run_paper_example
+from repro.experiments.pareto import pareto_to_json, run_pareto
 from repro.experiments.runner import _SCHEDULERS, build_cell_system
+from repro.objectives import evaluate_objectives
 from repro.schedule.io import schedule_to_json
 from repro.util.intervals import hotpath_mode, set_hotpath_mode
 
@@ -105,6 +109,20 @@ PINNED_LINK_MODEL = {
 }
 
 
+#: the series-parallel decomposition mapper (PR 9) pinned on the same
+#: golden cells as the other schedulers. On the random suite cell the
+#: graph has no serial chains, so spdecomp degenerates to HEFT exactly —
+#: the shared float is intentional, not a copy-paste error.
+PINNED_SPDECOMP = {
+    "regular": 21199.6460230246,
+    "random": 20645.843323245692,
+    "torus": 2864.1463017080628,
+    "fattree": 15202.355863924475,
+    "torus_fd": 3091.8242917764665,
+    "fattree_skew": 16540.619185208234,
+}
+
+
 #: n=1000 golden cell — the scale the array engine exists for, and the
 #: same cell family as ``bench_hotpath.py``'s scaling curve. Pins the
 #: exact makespan so array-mode schedules are locked against drift at
@@ -158,6 +176,12 @@ class TestPinnedMakespans:
         sched = _SCHEDULERS[algorithm](system)
         assert sched.schedule_length() == PINNED_BASELINES_LINK_MODEL[(suite, algorithm)]
 
+    @pytest.mark.parametrize("suite", sorted(PINNED_SPDECOMP))
+    def test_spdecomp_cell_exact(self, suite):
+        system = build_cell_system(_cell(suite))
+        sched = _SCHEDULERS["spdecomp"](system)
+        assert sched.schedule_length() == PINNED_SPDECOMP[suite]
+
 
 class TestEngineModesIdentical:
     """legacy vs fast vs incremental vs array — byte-identical
@@ -166,7 +190,9 @@ class TestEngineModesIdentical:
     @pytest.mark.parametrize(
         "suite", ["regular", "random", "torus", "fattree", "torus_fd", "fattree_skew"]
     )
-    @pytest.mark.parametrize("algorithm", ["bsa", "dls", "heft", "cpop", "etf"])
+    @pytest.mark.parametrize(
+        "algorithm", ["bsa", "dls", "heft", "cpop", "etf", "spdecomp"]
+    )
     def test_serialized_schedules_identical(self, suite, algorithm, both_modes):
         blobs = {}
         for mode in MODES:
@@ -213,6 +239,25 @@ class TestEngineModesIdentical:
             blobs[mode] = schedule_to_json(sched)
         assert blobs["incremental"] == blobs["array"]
 
+    @pytest.mark.parametrize("suite", ["regular", "torus", "fattree_skew"])
+    @pytest.mark.parametrize("algorithm", ["bsa", "heft", "spdecomp"])
+    def test_objective_vectors_identical(self, suite, algorithm, both_modes):
+        """All four objectives, not just the makespan, must be
+        byte-identical across the engine modes — they are pure float
+        reductions over the committed schedule, so identical schedules
+        must give identical values down to the last bit."""
+        blobs = {}
+        for mode in MODES:
+            set_hotpath_mode(mode)
+            system = build_cell_system(_cell(suite))
+            sched = _SCHEDULERS[algorithm](system)
+            values = evaluate_objectives(
+                sched, "makespan,energy,reliability,throughput"
+            )
+            blobs[mode] = json.dumps(values, sort_keys=True)
+        assert (blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+                == blobs["array"])
+
     def test_rejection_heavy_cell_identical(self, both_modes):
         """A communication-heavy cell whose BSA run rejects many
         migrations: exercises the undo-log rollback (incremental), the
@@ -234,3 +279,78 @@ class TestEngineModesIdentical:
         assert len(set(rejected.values())) == 1
         # the cell must keep exercising rollback; reseed it if this trips
         assert rejected["incremental"] > 0
+
+#: golden Pareto cell (PR 9): fat-tree n=100 gauss, every scheduler
+#: scored on all four objectives. The front and every objective value
+#: are pinned exactly; the serialized artifact must be byte-identical
+#: across all four engine modes.
+CELL_PARETO = Cell("regular", "gauss", 100, 1.0, "fattree", "bsa",
+                   n_procs=8, graph_seed=2, system_seed=2)
+
+PINNED_PARETO_FRONT = ["bsa", "dls", "heft"]
+
+PINNED_PARETO_VALUES = {
+    "bsa": {
+        "energy": 72763.65329156743,
+        "makespan": 15625.6879943309,
+        "reliability": 0.5669266229746843,
+        "throughput": 10129.497862617287,
+    },
+    "dls": {
+        "energy": 73122.10404707766,
+        "makespan": 20045.52312037218,
+        "reliability": 0.6162476532259843,
+        "throughput": 11372.732782069601,
+    },
+    "heft": {
+        "energy": 61863.09299873603,
+        "makespan": 13425.483717367097,
+        "reliability": 0.6064346300148088,
+        "throughput": 10315.061896961502,
+    },
+    "cpop": {
+        "energy": 293257.55288821465,
+        "makespan": 79842.74772650919,
+        "reliability": 0.22407986018408355,
+        "throughput": 79842.74772650919,
+    },
+    "etf": {
+        "energy": 619299.6642026117,
+        "makespan": 117796.9418700612,
+        "reliability": 0.019959237524555282,
+        "throughput": 77823.85776555596,
+    },
+    "spdecomp": {
+        "energy": 169543.15612680075,
+        "makespan": 46262.84079518959,
+        "reliability": 0.4086511047707097,
+        "throughput": 20558.667669277038,
+    },
+}
+
+
+class TestGoldenPareto:
+    """The Pareto sweep is an artifact-producing endpoint (CLI stdout
+    and the ``/pareto`` HTTP body are its exact bytes), so it gets the
+    same golden treatment as the makespans: exact values, exact front,
+    byte-identical serialization under every engine mode."""
+
+    def _run(self):
+        doc, _ = run_pareto(CELL_PARETO, use_cache=False)
+        return doc
+
+    def test_front_and_values_exact(self):
+        doc = self._run()
+        by_algo = {p["algorithm"]: p for p in doc["points"]}
+        assert doc["front"] == PINNED_PARETO_FRONT
+        for algo, expected in PINNED_PARETO_VALUES.items():
+            assert by_algo[algo]["values"] == expected, algo
+            assert by_algo[algo]["on_front"] == (algo in PINNED_PARETO_FRONT)
+
+    def test_artifact_identical_across_modes(self, both_modes):
+        blobs = {}
+        for mode in MODES:
+            set_hotpath_mode(mode)
+            blobs[mode] = pareto_to_json(self._run())
+        assert (blobs["legacy"] == blobs["fast"] == blobs["incremental"]
+                == blobs["array"])

@@ -1,0 +1,377 @@
+"""Property suite for the multi-criteria objective layer (PR 9).
+
+Everything here is seeded, in the style of ``test_random_invariants``:
+a grid of deterministic (topology, algorithm, seed) cells is scheduled
+once per test class and the objective evaluators' *theorems* are
+checked against them —
+
+* **energy** strictly increases when any execution cost increases
+  (busy power strictly exceeds idle power), and decomposes exactly into
+  busy + idle + link terms;
+* **reliability** is in ``(0, 1]``, monotone non-increasing in every
+  failure rate, and monotone non-decreasing in replication;
+* **throughput** (the steady-state period) equals the bottleneck
+  resource's busy time and bounds every resource's busy time;
+* **Pareto fronts** contain no dominated point and are independent of
+  insertion order;
+* the **objectives token** canonicalizes through the cache key, so no
+  reordering of spellings (alone or composed with the scenario /
+  overlay axes) can alias two different ``ResultCache`` entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import Cell
+from repro.experiments.runner import _SCHEDULERS, build_cell_system
+from repro.graph.model import TaskGraph
+from repro.network.system import HeterogeneousSystem
+from repro.network.topology import ring
+from repro.objectives import (
+    OBJECTIVE_NAMES,
+    OBJECTIVE_SENSES,
+    PowerModel,
+    ReliabilityModel,
+    bottleneck_busy_times,
+    dominates,
+    evaluate_objectives,
+    objectives_token,
+    pareto_front,
+    parse_objectives,
+    schedule_energy,
+    schedule_reliability,
+    schedule_throughput,
+)
+
+
+def _combos():
+    """Seeded (cell, algorithm) grid: 3 topologies x 4 schedulers."""
+    combos = []
+    i = 0
+    for topology in ("ring", "hypercube", "fattree"):
+        for algorithm in ("bsa", "heft", "etf", "spdecomp"):
+            combos.append(
+                Cell(
+                    suite="random", app="random", size=20 + 3 * (i % 4),
+                    granularity=(0.5, 1.0, 5.0)[i % 3], topology=topology,
+                    algorithm=algorithm, n_procs=8,
+                    graph_seed=900 + i, system_seed=950 + i,
+                )
+            )
+            i += 1
+    return combos
+
+
+CELLS = _combos()
+IDS = [f"{c.topology}-{c.algorithm}-g{c.graph_seed}" for c in CELLS]
+
+
+def _schedule(cell: Cell):
+    return _SCHEDULERS[cell.algorithm](build_cell_system(cell))
+
+
+def _chain_system(bump: float = 1.0) -> HeterogeneousSystem:
+    """A 5-task chain on a 3-proc ring where processor 0 dominates, so
+    every list scheduler places the whole chain there deterministically.
+    ``bump`` scales one interior task's execution cost — same placement,
+    longer slot — which is exactly the premise of the energy theorem."""
+    g = TaskGraph(name="chain")
+    for k in range(5):
+        g.add_task(k, 10.0)
+        if k:
+            g.add_edge(k - 1, k, 1.0)
+    table = {
+        k: (10.0 * (bump if k == 2 else 1.0), 1000.0, 1000.0)
+        for k in range(5)
+    }
+    return HeterogeneousSystem(g, ring(3), table)
+
+
+class TestEnergy:
+    @pytest.mark.parametrize("bumps", [(1.0, 1.5), (1.0, 1.001, 2.0, 8.0)])
+    def test_strictly_increases_with_exec_cost(self, bumps):
+        energies = [
+            schedule_energy(_SCHEDULERS["heft"](_chain_system(b)))
+            for b in bumps
+        ]
+        for lo, hi in zip(energies, energies[1:]):
+            assert hi > lo
+
+    @pytest.mark.parametrize("cell", CELLS, ids=IDS)
+    def test_decomposition_exact(self, cell):
+        """The evaluator must equal an independently-written reduction
+        (same float op order: processors, then slots, then hops)."""
+        sched = _schedule(cell)
+        model = PowerModel.sample(cell.n_procs, seed=cell.system_seed)
+        sl = sched.schedule_length()
+        expected = 0.0
+        for proc in sched.system.topology.processors:
+            busy = 0.0
+            for task in sched.proc_order[proc]:
+                d = sched.slots[task].duration
+                expected += model.busy_power(proc) * d
+                busy += d
+            expected += model.idle_power[proc] * (sl - busy)
+        for channel in sched.link_order:
+            for hop in sched.link_order[channel]:
+                expected += model.link_power * hop.duration
+        assert schedule_energy(sched, model) == expected
+
+    @pytest.mark.parametrize("cell", CELLS[:4], ids=IDS[:4])
+    def test_exceeds_idle_floor(self, cell):
+        """Busy power > idle power, so any non-empty schedule costs
+        strictly more than leaving the platform idle for its makespan."""
+        sched = _schedule(cell)
+        model = PowerModel.uniform(cell.n_procs)
+        floor = sum(model.idle_power) * sched.schedule_length()
+        assert schedule_energy(sched, model) > floor
+
+    def test_attached_model_used(self):
+        sched = _SCHEDULERS["heft"](_chain_system())
+        default = schedule_energy(sched)
+        hot = PowerModel(frequencies=(3.0,) * 3, idle_power=(0.25,) * 3)
+        sched.system.power_model = hot
+        assert schedule_energy(sched) == schedule_energy(sched, hot)
+        assert schedule_energy(sched) > default
+
+    def test_validation(self):
+        sched = _SCHEDULERS["heft"](_chain_system())
+        with pytest.raises(ConfigurationError):
+            schedule_energy(sched, PowerModel.uniform(7))  # wrong n_procs
+        with pytest.raises(ConfigurationError):
+            PowerModel(frequencies=(1.0, -1.0), idle_power=(0.1, 0.1))
+        with pytest.raises(ConfigurationError):
+            PowerModel(frequencies=(1.0,), idle_power=(0.1, 0.1))
+        with pytest.raises(ConfigurationError):
+            PowerModel(frequencies=(1.0,), idle_power=(0.1,), alpha=0.0)
+
+
+class TestReliability:
+    @pytest.mark.parametrize("cell", CELLS, ids=IDS)
+    def test_unit_interval(self, cell):
+        r = schedule_reliability(_schedule(cell))
+        assert 0.0 < r <= 1.0
+
+    @pytest.mark.parametrize("cell", CELLS[:6], ids=IDS[:6])
+    def test_monotone_in_rates(self, cell):
+        """Doubling any failure rate can only hurt; with busy resources
+        it hurts strictly."""
+        sched = _schedule(cell)
+        scales = (0.0, 1.0, 2.0, 10.0)
+        for vary in ("proc", "link"):
+            rels = [
+                schedule_reliability(sched, ReliabilityModel.uniform(
+                    cell.n_procs,
+                    proc_rate=1e-5 * (s if vary == "proc" else 1.0),
+                    link_rate=1e-5 * (s if vary == "link" else 1.0),
+                ))
+                for s in scales
+            ]
+            for hi, lo in zip(rels, rels[1:]):
+                assert lo <= hi, vary
+            assert rels[-1] < rels[0], vary  # strict once anything is busy
+
+    def test_zero_rates_certain(self):
+        sched = _SCHEDULERS["heft"](_chain_system())
+        model = ReliabilityModel.uniform(3, proc_rate=0.0, link_rate=0.0)
+        assert schedule_reliability(sched, model) == 1.0
+
+    @pytest.mark.parametrize("cell", CELLS[:4], ids=IDS[:4])
+    def test_replication_helps(self, cell):
+        sched = _schedule(cell)
+        rels = [
+            schedule_reliability(sched, ReliabilityModel.uniform(
+                cell.n_procs, proc_rate=1e-4, replication=k))
+            for k in (1, 2, 4)
+        ]
+        assert rels[0] < rels[1] < rels[2] <= 1.0
+
+    def test_from_scenario_rates(self):
+        """The analytic model and the failure injector must describe the
+        same regime: expected event counts spread over resources."""
+        system = _chain_system()
+        horizon = 100.0
+        model = ReliabilityModel.from_scenario("f4l2s0", system, horizon)
+        n_channels = max(1, len(list(system.topology.channels())))
+        assert model.proc_rates == (4 / (3 * horizon),) * 3
+        assert model.link_rate == 2 / (n_channels * horizon)
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel.from_scenario("f1s0", system, 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel(proc_rates=(-1e-5, 1e-5))
+        with pytest.raises(ConfigurationError):
+            ReliabilityModel(proc_rates=(1e-5,), replication=0)
+        sched = _SCHEDULERS["heft"](_chain_system())
+        with pytest.raises(ConfigurationError):
+            schedule_reliability(sched, ReliabilityModel.uniform(5))
+
+
+class TestThroughput:
+    @pytest.mark.parametrize("cell", CELLS, ids=IDS)
+    def test_period_is_bottleneck(self, cell):
+        sched = _schedule(cell)
+        busy = bottleneck_busy_times(sched)
+        period = schedule_throughput(sched)
+        assert busy
+        assert period == max(busy.values())
+        for resource, b in busy.items():
+            assert 0.0 <= b <= period, resource
+
+    @pytest.mark.parametrize("cell", CELLS[:4], ids=IDS[:4])
+    def test_proc_busy_is_slot_sum(self, cell):
+        sched = _schedule(cell)
+        busy = bottleneck_busy_times(sched)
+        for proc in sched.system.topology.processors:
+            expected = sum(
+                sched.slots[t].duration for t in sched.proc_order[proc]
+            )
+            assert busy.get(("proc", proc), 0.0) == expected
+
+    def test_period_bounded_by_makespan(self):
+        """One instance can't beat the pipeline's steady state."""
+        for cell in CELLS[:6]:
+            sched = _schedule(cell)
+            assert schedule_throughput(sched) <= sched.schedule_length()
+
+
+class TestRegistry:
+    def test_canonical_order_any_spelling(self):
+        assert parse_objectives("throughput,energy") == ("energy", "throughput")
+        assert parse_objectives(["reliability", "makespan"]) == (
+            "makespan", "reliability")
+        assert objectives_token("throughput, energy") == "energy,throughput"
+        assert objectives_token("") == ""
+        assert parse_objectives(OBJECTIVE_NAMES) == OBJECTIVE_NAMES
+
+    def test_rejects_unknown_and_duplicates(self):
+        with pytest.raises(ConfigurationError, match="unknown objective"):
+            parse_objectives("energy,latency")
+        with pytest.raises(ConfigurationError, match="duplicate objective"):
+            parse_objectives("energy,makespan,energy")
+
+    def test_senses_cover_registry(self):
+        assert set(OBJECTIVE_SENSES) == set(OBJECTIVE_NAMES)
+        assert set(OBJECTIVE_SENSES.values()) == {"min", "max"}
+
+    def test_evaluate_makespan_bit_exact(self):
+        sched = _schedule(CELLS[0])
+        values = evaluate_objectives(sched, "makespan")
+        assert values == {"makespan": sched.schedule_length()}
+        full = evaluate_objectives(sched)
+        assert list(full) == list(OBJECTIVE_NAMES)
+        assert full["makespan"] == sched.schedule_length()
+
+
+def _random_points(rng: random.Random, n: int):
+    return [
+        (
+            f"p{i}",
+            {
+                "makespan": rng.uniform(1, 100),
+                "energy": rng.uniform(1, 100),
+                "reliability": rng.uniform(0, 1),
+                "throughput": rng.uniform(1, 100),
+            },
+        )
+        for i in range(n)
+    ]
+
+
+class TestParetoFront:
+    def test_dominance_respects_senses(self):
+        a = {"makespan": 1.0, "reliability": 0.9}
+        b = {"makespan": 2.0, "reliability": 0.5}
+        objs = "makespan,reliability"
+        assert dominates(a, b, objs)
+        assert not dominates(b, a, objs)
+        # better makespan but worse reliability: incomparable
+        c = {"makespan": 0.5, "reliability": 0.1}
+        assert not dominates(c, a, objs) and not dominates(a, c, objs)
+        # equal vectors dominate neither way
+        assert not dominates(a, dict(a), objs)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_front_has_no_dominated_point(self, seed):
+        rng = random.Random(seed)
+        points = _random_points(rng, 24)
+        front = set(pareto_front(points))
+        by_label = dict(points)
+        for label in front:
+            assert not any(
+                dominates(other, by_label[label])
+                for lbl, other in points if lbl != label
+            )
+        # and every excluded point is dominated by someone
+        for label, values in points:
+            if label not in front:
+                assert any(
+                    dominates(other, values)
+                    for lbl, other in points if lbl != label
+                )
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_front_insertion_order_independent(self, seed):
+        rng = random.Random(1000 + seed)
+        points = _random_points(rng, 16)
+        baseline = set(pareto_front(points))
+        for _ in range(5):
+            shuffled = points[:]
+            rng.shuffle(shuffled)
+            assert set(pareto_front(shuffled)) == baseline
+
+    def test_ties_both_survive(self):
+        v = {"makespan": 1.0, "energy": 2.0}
+        points = [("a", dict(v)), ("b", dict(v)),
+                  ("c", {"makespan": 3.0, "energy": 3.0})]
+        assert pareto_front(points, "makespan,energy") == ["a", "b"]
+
+    def test_missing_objective_rejected(self):
+        points = [("a", {"makespan": 1.0}),
+                  ("b", {"makespan": 2.0, "energy": 1.0})]
+        with pytest.raises(ConfigurationError, match="lacks"):
+            pareto_front(points, "makespan,energy")
+
+
+class TestCacheKeyComposition:
+    """Satellite regression: no spelling or axis-composition games can
+    alias two different computations onto one ResultCache key."""
+
+    BASE = Cell("random", "random", 30, 1.0, "hypercube", "bsa",
+                n_procs=8, graph_seed=7, system_seed=7)
+
+    def test_reordered_objectives_same_key(self):
+        a = dataclasses.replace(self.BASE, objectives="throughput,energy")
+        b = dataclasses.replace(self.BASE, objectives="energy,throughput")
+        assert a.key() == b.key()
+        assert a.key().endswith("/objenergy,throughput")
+
+    def test_static_keys_unchanged(self):
+        """Cells without objectives keep their historical keys — the
+        suffix only appears when the axis is used."""
+        assert "/obj" not in self.BASE.key()
+
+    def test_composes_with_scenario_in_fixed_order(self):
+        both = dataclasses.replace(
+            self.BASE, scenario="f1l1s0", objectives="reliability,energy")
+        key = both.key()
+        assert "/scf1l1s0/objenergy,reliability" in key
+        reordered = dataclasses.replace(
+            both, objectives="energy, reliability")
+        assert reordered.key() == key
+
+    def test_duplicate_objectives_rejected_at_key_time(self):
+        bad = dataclasses.replace(self.BASE, objectives="energy,energy")
+        with pytest.raises(ConfigurationError, match="duplicate objective"):
+            bad.key()
+
+    def test_distinct_objectives_distinct_keys(self):
+        a = dataclasses.replace(self.BASE, objectives="energy")
+        b = dataclasses.replace(self.BASE, objectives="reliability")
+        assert a.key() != b.key() != self.BASE.key()

@@ -43,6 +43,7 @@ from repro.experiments.cache import (
 from repro.service import (
     ERROR_TABLE,
     ConvertRequest,
+    ParetoRequest,
     ScheduleRequest,
     SimulateRequest,
     SweepRequest,
@@ -132,6 +133,8 @@ class TestRequests:
             ConvertRequest(graph=CONNECTED_STG, to_fmt="dot"),
             SweepRequest(sizes=(20, 30)),
             SimulateRequest(workload="gauss", size=18),
+            ParetoRequest(size=20, algorithms=("bsa", "heft"),
+                          objectives=("energy", "makespan")),
         ):
             assert request_from_dict(json.loads(req.to_json())) == req
 
@@ -377,6 +380,74 @@ class TestByteIdentity:
         path.write_bytes(body)
         assert main(["replay", str(path)]) == 0
         assert "replay OK" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Pareto sweeps over the service (PR 9)
+# ----------------------------------------------------------------------
+
+class TestPareto:
+    PAYLOAD = {"workload": "gauss", "size": 20, "topology": "ring",
+               "n_procs": 4, "seed": 1, "algorithms": ["bsa", "heft"],
+               "objectives": ["makespan", "energy"]}
+
+    def _cli_stdout(self, capsys):
+        from repro.cli import main
+
+        rc = main(["pareto", "-w", "gauss", "-n", "20", "-t", "ring",
+                   "-p", "4", "--seed", "1", "-a", "bsa", "heft",
+                   "-O", "makespan", "energy"])
+        assert rc == 0
+        return capsys.readouterr().out.encode("utf-8")
+
+    def test_http_body_matches_cli_stdout(self, server, capsys):
+        status, headers, body = _request(server, "POST", "/pareto",
+                                         self.PAYLOAD)
+        assert status == 200
+        assert "X-Repro-Request-Key" in headers
+        doc = json.loads(body)
+        assert doc["format"] == "repro-pareto"
+        assert doc["objectives"] == ["makespan", "energy"]
+        assert body == self._cli_stdout(capsys)
+
+    def test_repeat_is_cache_hit_same_bytes(self, server):
+        _, headers1, body1 = _request(server, "POST", "/pareto", self.PAYLOAD)
+        _, headers2, body2 = _request(server, "POST", "/pareto", self.PAYLOAD)
+        assert headers1["X-Repro-Cache"] == "miss"
+        assert headers2["X-Repro-Cache"] == "hit"
+        assert body1 == body2
+
+    def test_front_is_sane(self, server):
+        _, _, body = _request(server, "POST", "/pareto", self.PAYLOAD)
+        doc = json.loads(body)
+        labels = [p["algorithm"] for p in doc["points"]]
+        assert labels == ["bsa", "heft"]
+        assert doc["front"]
+        assert set(doc["front"]) <= set(labels)
+        for point in doc["points"]:
+            assert point["on_front"] == (point["algorithm"] in doc["front"])
+            # sort_keys=True serialization alphabetizes the value dicts
+            assert set(point["values"]) == {"makespan", "energy"}
+
+    def test_objectives_spelling_canonicalizes_in_key(self):
+        a = ParetoRequest(objectives=("throughput", "energy"))
+        b = ParetoRequest(objectives=("energy", "throughput"))
+        assert a.idempotency_key() == b.idempotency_key()
+        # algorithm order IS the artifact's point order: it stays visible
+        c = ParetoRequest(algorithms=("heft", "bsa"))
+        d = ParetoRequest(algorithms=("bsa", "heft"))
+        assert c.idempotency_key() != d.idempotency_key()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ParetoRequest(algorithms=("bsa", "bsa")).validate()
+        with pytest.raises(ConfigurationError):
+            ParetoRequest(objectives=("makespan",)).validate()
+        with pytest.raises(ConfigurationError):
+            ParetoRequest(algorithms=("nope",)).validate()
+        with pytest.raises(ConfigurationError):
+            ParetoRequest(size=0).validate()
+        ParetoRequest().validate()  # all-defaults request is well-formed
 
 
 # ----------------------------------------------------------------------
