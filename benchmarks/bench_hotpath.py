@@ -295,6 +295,66 @@ def run_scaling_curve(preset: str, reps: int = 2) -> Dict:
     }
 
 
+def run_obs_guard(preset: str, reps: int = 3) -> Dict:
+    """The observability overhead contract, enforced.
+
+    Interleaves three configurations over the microbench workloads:
+    obs **off** twice (their spread is the machine's noise floor on
+    this run) and obs **on** once, keeping per-config minima. Asserts
+
+    * schedules are byte-identical with collection on — telemetry can
+      never leak into an artifact; and
+    * the *enabled* overhead stays within ``max(10%, 4x noise)``. The
+      disabled path (one module-attribute load + bool test per site) is
+      a strict subset of the enabled one, so this bounds it too; its
+      absolute cost is additionally covered by the committed
+      ``BENCH_hotpath.json`` floors, which were recorded pre-obs.
+    """
+    from repro import obs
+
+    workloads = MICROBENCH_WORKLOADS[preset]
+    configs = ("off_a", "on", "off_b")
+    totals = {c: 0.0 for c in configs}
+    identical = True
+    try:
+        for suite, app, size, gran in workloads:
+            cell = Cell(suite, app, size, gran, "hypercube", "bsa",
+                        n_procs=16, graph_seed=1, system_seed=1)
+            best = {c: float("inf") for c in configs}
+            blobs = {}
+            for rep in range(reps):
+                for config in configs:
+                    if config == "on":
+                        obs.enable()
+                        obs.reset()
+                    else:
+                        obs.disable()
+                    sched, elapsed = _schedule(cell)
+                    best[config] = min(best[config], elapsed)
+                    if rep == 0:
+                        blobs[config] = schedule_to_json(sched)
+            identical = identical and len(set(blobs.values())) == 1
+            for c in configs:
+                totals[c] += best[c]
+    finally:
+        obs.disable()
+        obs.reset()
+        obs.reset_spans()
+    off = min(totals["off_a"], totals["off_b"])
+    noise = abs(totals["off_a"] - totals["off_b"]) / off
+    overhead = totals["on"] / off - 1.0
+    limit = max(0.10, 4.0 * noise)
+    return {
+        "off_s": round(off, 3),
+        "on_s": round(totals["on"], 3),
+        "noise": round(noise, 4),
+        "enabled_overhead": round(overhead, 4),
+        "overhead_limit": round(limit, 4),
+        "identical_schedules": identical,
+        "ok": identical and overhead <= limit,
+    }
+
+
 def effective_cpus() -> int:
     """CPUs this process may actually run on.
 
@@ -340,7 +400,25 @@ def main(argv=None) -> int:
                         help="also measure parallel scaling at this job count")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help="where to write the JSON report")
+    parser.add_argument("--obs-guard", action="store_true",
+                        help="run only the observability overhead guard "
+                             "(byte-identity with REPRO_OBS=1 and the "
+                             "enabled-overhead ceiling); exit 1 on "
+                             "violation, no report written")
     args = parser.parse_args(argv)
+
+    if args.obs_guard:
+        og = run_obs_guard(args.preset)
+        print(f"obs guard: off {og['off_s']}s -> on {og['on_s']}s "
+              f"(overhead {og['enabled_overhead']:+.1%}, noise "
+              f"{og['noise']:.1%}, limit {og['overhead_limit']:.1%}), "
+              f"identical={og['identical_schedules']}")
+        if not og["ok"]:
+            print("FAIL: observability guard violated "
+                  f"({'schedules differ with REPRO_OBS=1' if not og['identical_schedules'] else 'enabled overhead above limit'})",
+                  file=sys.stderr)
+            return 1
+        return 0
 
     cells = sweep_cells(args.preset)
     print(f"hot-path bench: preset={args.preset}, {len(cells)} cells "
@@ -368,6 +446,12 @@ def main(argv=None) -> int:
           f"n>=100): fast {mb['fast_s']}s -> incremental {mb['incremental_s']}s "
           f"= {mb['speedup']}x -> array {mb['array_s']}s "
           f"= {mb['speedup_array']}x, identical={mb['identical_schedules']}")
+
+    report["obs_guard"] = run_obs_guard(args.preset)
+    og = report["obs_guard"]
+    print(f"obs guard: off {og['off_s']}s -> on {og['on_s']}s "
+          f"(overhead {og['enabled_overhead']:+.1%}, limit "
+          f"{og['overhead_limit']:.1%}), identical={og['identical_schedules']}")
 
     report["scaling_curve"] = run_scaling_curve(args.preset)
     sc = report["scaling_curve"]
@@ -411,6 +495,10 @@ def main(argv=None) -> int:
     if not sc["floor_ok"]:
         print(f"FAIL: array mode does not beat incremental at "
               f"n >= {sc['floor_n']}", file=sys.stderr)
+        return 1
+    if not og["ok"]:
+        print("FAIL: observability guard violated (byte-identity or "
+              "enabled overhead)", file=sys.stderr)
         return 1
     return 0
 

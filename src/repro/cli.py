@@ -25,6 +25,12 @@ Commands
   overlays (CCR / granularity / heterogeneity);
 * ``ablation``   — compare BSA option variants on one workload;
 * ``report``     — regenerate the full reproduction report;
+* ``serve``      — run the scheduling service over HTTP (with
+  ``GET /metrics`` and optional ``--log-file`` NDJSON request logs);
+* ``profile``    — run one scheduling cell with the observability layer
+  enabled and print the engine counter / span tables;
+* ``trace``      — export a schedule bundle (or live span records) as
+  Chrome ``chrome://tracing`` JSON;
 * ``info``       — library / scale / cache information.
 
 Flag choices (``--algorithm``, ``--topology``, ``--format``) are derived
@@ -399,10 +405,11 @@ def _cmd_corpus_ls(args) -> int:
 
 
 def _run_corpus_bench(args, telemetry: bool) -> int:
+    from repro import obs
     from repro.corpus.bench import corpus_bench
     from repro.util.intervals import hotpath_mode
 
-    say = (lambda msg: print(f"  {msg}", file=sys.stderr)) if telemetry else None
+    say = (lambda msg: obs.telemetry(f"  {msg}")) if telemetry else None
     report_text, sweep = corpus_bench(
         args.dir,
         overlays=_corpus_overlays(args),
@@ -418,13 +425,15 @@ def _run_corpus_bench(args, telemetry: bool) -> int:
     if telemetry:
         # execution telemetry (timings, cache hits) goes to stderr: the
         # stdout/--out report is the deterministic artifact
-        print(sweep.summary(), file=sys.stderr)
+        obs.telemetry(sweep.summary())
     # cache provenance is telemetry too — stderr keeps the report
-    # byte-identical across library versions and engine modes
-    print(f"provenance: repro {__version__}, engine {hotpath_mode()}, "
-          f"{sweep.stale} stale cache entr"
-          f"{'y' if sweep.stale == 1 else 'ies'} recomputed",
-          file=sys.stderr)
+    # byte-identical across library versions, engine modes, and job
+    # counts
+    obs.telemetry(
+        f"provenance: repro {__version__}, engine {hotpath_mode()}, "
+        f"jobs {max(1, args.jobs)}, {sweep.stale} stale cache entr"
+        f"{'y' if sweep.stale == 1 else 'ies'} recomputed"
+    )
     print(report_text)
     if args.out:
         with open(args.out, "w") as fh:
@@ -466,7 +475,83 @@ def _cmd_serve(args) -> int:
         host=args.host, port=args.port, api_key=api_key, jobs=args.jobs,
         async_threshold=args.async_threshold,
         use_cache=not args.no_cache,
+        log_file=args.log_file, obs_counters=args.obs,
     )
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.errors import SchedulingError
+    from repro.obs.chrometrace import schedule_trace, trace_to_json
+
+    try:
+        with open(args.bundle) as fh:
+            data = json.load(fh)
+    except ValueError as exc:
+        raise SchedulingError(f"{args.bundle}: {exc}") from None
+    doc = schedule_trace(data)
+    text = trace_to_json(doc)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        n = len(doc["traceEvents"])
+        print(f"chrome trace ({n} events) written to {args.out} — open "
+              f"via chrome://tracing or https://ui.perfetto.dev",
+              file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro import obs
+    from repro.service.pipeline import execute
+    from repro.util.tables import format_table
+
+    obs.enable()
+    obs.reset()
+    obs.reset_spans()
+    resp = execute(_schedule_request_from_args(args), use_cache=False)
+    s = resp.summary
+    print(f"profile  : {s['graph']} ({s['n_tasks']} tasks) on "
+          f"{s['topology']}, algorithm {s['algorithm']}")
+    print(f"SL       : {s['schedule_length']:.1f}  "
+          f"(wall {resp.extra['wall_ms']:.1f} ms)")
+    print()
+    snap = obs.snapshot()
+    print(format_table(
+        ["counter", "value"],
+        [[name, value] for name, value in snap.items() if value],
+        title="engine counters (deterministic; zero-valued omitted)",
+    ))
+    spans: dict = {}
+    order: list = []
+    for rec in obs.span_records():
+        name = rec["name"]
+        if name not in spans:
+            spans[name] = [0, 0.0]
+            order.append(name)
+        spans[name][0] += 1
+        spans[name][1] += rec["dur_s"]
+    print()
+    print(format_table(
+        ["span", "count", "total ms", "mean ms"],
+        [
+            [name, n, total * 1e3, total * 1e3 / n]
+            for name, (n, total) in ((k, spans[k]) for k in order)
+        ],
+        title="spans (wall-clock; machine telemetry)",
+        ndigits=3,
+    ))
+    if args.trace:
+        from repro.obs.chrometrace import spans_to_trace, trace_to_json
+
+        doc = spans_to_trace(obs.span_records(), counters=snap)
+        with open(args.trace, "w") as fh:
+            fh.write(trace_to_json(doc))
+        print(f"span trace written to {args.trace}", file=sys.stderr)
+    return 0
 
 
 def _cmd_info(args) -> int:
@@ -813,7 +898,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-cache", action="store_true",
                    help="compute every request fresh; never read or "
                         "write the result cache")
+    p.add_argument("--log-file", metavar="FILE", default=None,
+                   help="append one NDJSON record per request (method, "
+                        "path, status, wall_ms, cache disposition) to "
+                        "FILE")
+    p.add_argument("--obs", action="store_true",
+                   help="enable the deterministic engine counters so "
+                        "GET /metrics reports live scheduler totals "
+                        "(small overhead; responses stay byte-identical)")
     p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser(
+        "trace",
+        help="export a schedule bundle as Chrome chrome://tracing JSON "
+             "(processors as threads, message hops as flow arrows)",
+    )
+    p.add_argument("bundle", help="schedule bundle JSON file "
+                                  "(from `--export-bundle`)")
+    p.add_argument("--out", "-o", default=None,
+                   help="write the trace JSON to this file "
+                        "(default: stdout)")
+    p.set_defaults(func=_cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run one scheduling cell with observability enabled and "
+             "print the engine counter / span tables",
+    )
+    p.add_argument("--algorithm", "-a", default="bsa",
+                   choices=list(ALGORITHM_NAMES))
+    p.add_argument("--workload", "-w", default="random",
+                   choices=["random", "gauss", "lu", "laplace", "mva"])
+    p.add_argument("--graph", metavar="FILE", default=None,
+                   help="profile this task-graph file instead of a "
+                        "generated workload")
+    p.add_argument("--size", "-n", type=int, default=100)
+    p.add_argument("--granularity", "-g", type=float, default=1.0)
+    p.add_argument("--topology", "-t", default="hypercube",
+                   choices=list(TOPOLOGY_NAMES))
+    p.add_argument("--procs", "-p", type=int, default=None)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--trace", metavar="FILE", default=None,
+                   help="also write the recorded spans as Chrome trace "
+                        "JSON to FILE")
+    p.set_defaults(func=_cmd_profile,
+                   duplex="half", bandwidth_skew=1.0, bridge="none",
+                   format=None, topology_file=None)
 
     p = sub.add_parser("info", help="library and scale information")
     p.set_defaults(func=_cmd_info)

@@ -37,6 +37,7 @@ from repro.graph.validation import validate_graph
 from repro.network.routing import shortest_path
 from repro.network.system import HeterogeneousSystem, LinkHeterogeneity
 from repro.network.topology import Proc
+from repro.obs import counters as _obs
 from repro.core.migration import (
     MigrationPlan,
     commit_migration,
@@ -173,6 +174,17 @@ class BSAScheduler:
                 best_sl = sl
             if until_stable and self.stats.n_migrations == migrations_before:
                 break
+        if _obs.ACTIVE:
+            # fold the run's BSAStats into the process counter registry
+            # once, at the end — zero per-candidate overhead
+            s = self.stats
+            _obs.inc("bsa.tasks_examined", s.n_examined)
+            _obs.inc("bsa.candidates_evaluated", s.n_evaluated)
+            _obs.inc("bsa.candidates_pruned", s.n_pruned)
+            _obs.inc("bsa.migrations", s.n_migrations)
+            _obs.inc("bsa.vip_migrations", s.n_vip_migrations)
+            _obs.inc("bsa.rejected_migrations", s.n_rejected_migrations)
+            _obs.inc("bsa.sweeps", s.n_sweeps_run)
         return best if best_sl < sched.schedule_length() - _EPS else sched
 
     # ------------------------------------------------------------------

@@ -269,18 +269,24 @@ def corpus_bench(
     Returns ``(report text, sweep report)`` — the text is the
     deterministic artifact (suitable for files/CI), the sweep report
     carries the non-deterministic execution telemetry (timings, cache
-    hits, failures). ``objectives`` adds the per-criterion mean table.
+    hits, failures; stderr reporting goes through
+    :mod:`repro.obs.ndjson` in the CLI). ``objectives`` adds the
+    per-criterion mean table.
     """
-    cells, results, sweep = run_corpus(
-        corpus,
-        overlays=overlays,
-        topologies=topologies,
-        algorithms=algorithms,
-        n_procs=n_procs,
-        system_seed=system_seed,
-        jobs=jobs,
-        use_cache=use_cache,
-        progress=progress,
-        objectives=objectives,
-    )
-    return aggregate_report(cells, results, algorithms=algorithms), sweep
+    from repro import obs
+
+    with obs.span("corpus.bench", jobs=jobs):
+        cells, results, sweep = run_corpus(
+            corpus,
+            overlays=overlays,
+            topologies=topologies,
+            algorithms=algorithms,
+            n_procs=n_procs,
+            system_seed=system_seed,
+            jobs=jobs,
+            use_cache=use_cache,
+            progress=progress,
+            objectives=objectives,
+        )
+        report = aggregate_report(cells, results, algorithms=algorithms)
+    return report, sweep

@@ -32,6 +32,8 @@ import tempfile
 import zlib
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from repro.obs import counters as _obs
+
 CACHE_VERSION = 3
 
 DEFAULT_SHARDS = 8
@@ -83,13 +85,19 @@ def is_stale(value: dict, request_key: str) -> bool:
     from repro import __version__
 
     prov = provenance_of(value)
-    if prov is None:
-        return False
-    if prov.get("repro_version") != __version__:
-        return True
-    if prov.get("request_key") != request_key:
-        return True
-    return False
+    stale = False
+    if prov is not None:
+        if prov.get("repro_version") != __version__:
+            stale = True
+        elif prov.get("request_key") != request_key:
+            stale = True
+    if _obs.ACTIVE:
+        # every get() that found an entry is followed by exactly one
+        # is_stale() at each caller, so hit/stale tally here (misses
+        # tally in ResultCache.get) and the three dispositions partition
+        # the lookups
+        _obs.inc("cache.stale" if stale else "cache.hits")
+    return stale
 
 
 class ResultCache:
@@ -182,7 +190,10 @@ class ResultCache:
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[dict]:
-        return self._load(self._shard_of(key)).get(key)
+        value = self._load(self._shard_of(key)).get(key)
+        if value is None and _obs.ACTIVE:
+            _obs.inc("cache.misses")
+        return value
 
     def put(self, key: str, value: dict, flush: bool = True) -> None:
         idx = self._shard_of(key)

@@ -15,11 +15,11 @@ function of its own seeds; see ``tests/test_parallel_determinism.py``).
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.experiments.cache import (
     ResultCache,
@@ -220,19 +220,20 @@ def run_cell(
     except KeyError:
         raise ConfigurationError(f"unknown algorithm {cell.algorithm!r}") from None
 
-    t0 = time.perf_counter()
-    schedule = scheduler(system)
-    runtime = time.perf_counter() - t0
+    with obs.span("cell.schedule", algorithm=cell.algorithm,
+                  n=cell.size) as sp:
+        schedule = scheduler(system)
+    runtime = sp.elapsed_s
     if validate:
         validate_schedule(schedule)
     n_events = 0
     if cell.scenario:
         from repro.dynamic import simulate_scenario
 
-        t0 = time.perf_counter()
-        sim = simulate_scenario(system, schedule, cell.scenario,
-                                compare_replan=False)
-        runtime += time.perf_counter() - t0
+        with obs.span("cell.simulate", scenario=cell.scenario) as sim_sp:
+            sim = simulate_scenario(system, schedule, cell.scenario,
+                                    compare_replan=False)
+        runtime += sim_sp.elapsed_s
         n_events = len(sim.records)
         schedule = sim.schedule
     metrics = compute_metrics(schedule)
@@ -296,16 +297,25 @@ def _run_chunk(
     cells: Sequence[Cell],
     validate: bool,
     hotpath: str,
-) -> List[Tuple[str, dict]]:
-    """Worker entry: run a chunk of cells cache-free and return raw dicts.
+) -> Tuple[List[Tuple[str, dict]], Dict[str, int]]:
+    """Worker entry: run a chunk of cells cache-free and return raw dicts
+    plus the chunk's deterministic-counter delta.
 
     The hot-path mode is pinned explicitly so workers behave identically
-    under any multiprocessing start method. A failing cell is reported as
-    an ``{"__error__": ...}`` payload instead of poisoning the chunk.
+    under any multiprocessing start method (workers inherit ``REPRO_OBS``
+    through the environment, so the obs state is pinned the same way). A
+    failing cell is reported as an ``{"__error__": ...}`` payload instead
+    of poisoning the chunk. The counter delta is a before/after snapshot
+    difference — worker processes are reused across chunks, so absolute
+    values would double-count; per-chunk deltas summed in the parent are
+    exactly the in-process totals, which keeps counters independent of
+    ``jobs`` and chunking.
     """
+    from repro.obs import counters as _obs
     from repro.util.intervals import set_hotpath_mode
 
     set_hotpath_mode(hotpath)
+    before = _obs.snapshot() if _obs.ACTIVE else None
     out: List[Tuple[str, dict]] = []
     for cell in cells:
         try:
@@ -313,7 +323,15 @@ def _run_chunk(
             out.append((cell.key(), result.to_dict()))
         except Exception as exc:  # noqa: BLE001 - reported to the parent
             out.append((cell.key(), {"__error__": f"{type(exc).__name__}: {exc}"}))
-    return out
+    delta: Dict[str, int] = {}
+    if before is not None:
+        after = _obs.snapshot()
+        delta = {
+            name: value - before.get(name, 0)
+            for name, value in after.items()
+            if value != before.get(name, 0)
+        }
+    return out, delta
 
 
 def _chunked(items: List[Cell], size: int) -> List[List[Cell]]:
@@ -333,13 +351,37 @@ def run_cells(
     """Run a batch of cells, fanned out over ``jobs`` worker processes.
 
     Returns ``(results keyed by cell key, report)``. With ``jobs <= 1``
-    everything runs in-process (no pool). Results are independent of
-    ``jobs`` and of chunking: every cell is rebuilt from its own seeds in
-    whichever process runs it, and the parent alone writes the cache.
+    everything runs in-process (no pool). Results — and, with the obs
+    layer on, the deterministic counters — are independent of ``jobs``
+    and of chunking: every cell is rebuilt from its own seeds in
+    whichever process runs it, workers return per-chunk counter deltas
+    the parent sums, and the parent alone writes the cache.
     """
+    with obs.span("sweep.run_cells", jobs=max(1, jobs)) as sp:
+        results, report = _run_cells_impl(
+            cells, jobs=jobs, cache=cache, use_cache=use_cache,
+            validate=validate, chunk_size=chunk_size, progress=progress,
+        )
+    report.wall_s = sp.elapsed_s
+    if report.failures and raise_on_error:
+        raise ConfigurationError(
+            f"{len(report.failures)} cell(s) failed: "
+            + "; ".join(f"{k}: {e}" for k, e in report.failures[:3])
+        )
+    return results, report
+
+
+def _run_cells_impl(
+    cells: Iterable[Cell],
+    jobs: int,
+    cache: Optional[ResultCache],
+    use_cache: bool,
+    validate: bool,
+    chunk_size: Optional[int],
+    progress: Optional[Callable[[str], None]],
+) -> Tuple[Dict[str, CellResult], SweepReport]:
     from repro.util.intervals import hotpath_mode
 
-    t0 = time.perf_counter()
     if cache is None:
         cache = default_cache()
     cells = list(cells)
@@ -382,7 +424,9 @@ def run_cells(
         if jobs <= 1:
             done = 0
             for cell in misses:
-                _absorb(_run_chunk([cell], validate, hotpath_mode()))
+                # in-process: counters incremented directly, delta unused
+                pairs, _ = _run_chunk([cell], validate, hotpath_mode())
+                _absorb(pairs)
                 done += 1
                 if done % 10 == 0 or done == len(misses):
                     say(f"computed {done}/{len(misses)} cells")
@@ -403,17 +447,14 @@ def run_cells(
                     finished, _ = wait(pending, return_when=FIRST_COMPLETED)
                     for fut in finished:
                         n = pending.pop(fut)
-                        _absorb(fut.result())
+                        pairs, delta = fut.result()
+                        if delta:
+                            obs.merge(delta)
+                        _absorb(pairs)
                         done_cells += n
                         say(
                             f"computed {done_cells}/{len(misses)} cells "
                             f"({len(pending)} chunks in flight)"
                         )
 
-    report.wall_s = time.perf_counter() - t0
-    if report.failures and raise_on_error:
-        raise ConfigurationError(
-            f"{len(report.failures)} cell(s) failed: "
-            + "; ".join(f"{k}: {e}" for k, e in report.failures[:3])
-        )
     return results, report

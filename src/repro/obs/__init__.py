@@ -1,0 +1,61 @@
+"""``repro.obs`` — the zero-dependency observability layer.
+
+Everything is **off by default** and gated by one module-level flag
+(:data:`repro.obs.counters.ACTIVE`, set from the ``REPRO_OBS`` env var
+at import, flipped by :func:`enable`/:func:`disable` or the CLI's
+``--obs`` flags). Hot engine code guards every increment with that
+flag, so the disabled overhead is one attribute load + bool test per
+*event batch* — enforced within bench noise by
+``benchmarks/bench_hotpath.py --obs-guard``.
+
+Three kinds of signal, strictly out-of-band (stderr, files, HTTP
+headers — never cached artifacts or bundles):
+
+* **deterministic counters** (:mod:`repro.obs.counters`) — algorithmic
+  event counts, identical rep-to-rep and across ``--jobs``;
+* **spans** (:mod:`repro.obs.spans`) — nested wall-time scopes,
+  exportable as Chrome ``chrome://tracing`` JSON
+  (:mod:`repro.obs.chrometrace`, which also renders any committed
+  schedule as a Gantt trace);
+* **logs** (:mod:`repro.obs.ndjson`) — the stderr telemetry line and
+  the NDJSON request log behind ``repro serve --log-file``;
+
+plus the Prometheus text rendering for ``GET /metrics``
+(:mod:`repro.obs.promtext`).
+
+Entry points: ``repro profile`` (counter/span table for one cell),
+``repro trace`` (bundle -> Chrome trace), ``repro serve --obs
+--log-file``.
+"""
+
+from repro.obs.counters import (
+    COUNTERS,
+    disable,
+    enable,
+    enabled,
+    inc,
+    merge,
+    reset,
+    snapshot,
+)
+from repro.obs.ndjson import configure_log, log_json, log_path, telemetry
+from repro.obs.spans import Span, reset_spans, span, span_records
+
+__all__ = [
+    "COUNTERS",
+    "Span",
+    "configure_log",
+    "disable",
+    "enable",
+    "enabled",
+    "inc",
+    "log_json",
+    "log_path",
+    "merge",
+    "reset",
+    "reset_spans",
+    "snapshot",
+    "span",
+    "span_records",
+    "telemetry",
+]

@@ -1,0 +1,71 @@
+"""Structured NDJSON event log + the one stderr telemetry path.
+
+Two channels, deliberately separate from every artifact:
+
+* :func:`telemetry` — the human-facing stderr line (what the corpus
+  bench and the CLI used to ``print(..., file=sys.stderr)`` directly).
+  Always on: these lines are operator feedback, not collection. When a
+  log sink is configured the same line is *also* recorded as an NDJSON
+  ``{"event": "telemetry", ...}`` record.
+* :func:`log_json` — one JSON object per line to the configured sink
+  (``repro serve --log-file``). Keys are sorted, writes are
+  lock-serialized and flushed per line, so a tail of the file is
+  always parseable. Without a sink it is a no-op.
+
+Nothing here ever reaches stdout, a cached entry, or a bundle — the
+byte-identity contracts stay blind to logging.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+from typing import Any, IO, Optional
+
+__all__ = ["configure_log", "log_json", "log_path", "telemetry"]
+
+_sink: Optional[IO[str]] = None
+_sink_path: Optional[str] = None
+_lock = threading.Lock()
+
+
+def configure_log(path: Optional[str] = None,
+                  stream: Optional[IO[str]] = None) -> None:
+    """Open (append) or replace the NDJSON sink; ``None`` closes it."""
+    global _sink, _sink_path
+    with _lock:
+        if _sink is not None and _sink_path is not None:
+            try:
+                _sink.close()
+            except OSError:  # pragma: no cover - close-on-teardown race
+                pass
+        if stream is not None:
+            _sink, _sink_path = stream, None
+        elif path is not None:
+            _sink, _sink_path = open(path, "a"), path
+        else:
+            _sink, _sink_path = None, None
+
+
+def log_path() -> Optional[str]:
+    """The configured log file path (``None`` for stream/off)."""
+    return _sink_path
+
+
+def log_json(**fields: Any) -> None:
+    """Append one NDJSON record to the sink (no-op when unconfigured)."""
+    if _sink is None:
+        return
+    line = json.dumps(fields, sort_keys=True, default=str)
+    with _lock:
+        if _sink is None:  # pragma: no cover - closed by a racing reconfigure
+            return
+        _sink.write(line + "\n")
+        _sink.flush()
+
+
+def telemetry(message: str) -> None:
+    """One operator-facing stderr line (plus an NDJSON copy if logging)."""
+    sys.stderr.write(message + "\n")
+    log_json(event="telemetry", message=message)

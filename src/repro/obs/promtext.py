@@ -1,0 +1,57 @@
+"""Prometheus text exposition of the deterministic counters.
+
+Rendered by ``GET /metrics`` on ``repro serve`` (text format version
+0.0.4 — what every Prometheus scraper and ``promtool`` accept). Every
+registered counter appears, zeros included, so a scrape's series set
+is stable from the first request; the name mapping is mechanical
+(``bsa.candidates_evaluated`` -> ``repro_bsa_candidates_evaluated_total``)
+and a docs test pins the README table to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.obs import counters as _counters
+
+__all__ = ["metric_name", "render_metrics", "CONTENT_TYPE"]
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def metric_name(counter: str) -> str:
+    """``section.name`` -> ``repro_section_name_total``."""
+    return "repro_" + counter.replace(".", "_").replace("-", "_") + "_total"
+
+
+def render_metrics(extra_gauges: Optional[Dict[str, float]] = None) -> str:
+    """The full ``/metrics`` payload.
+
+    ``extra_gauges`` lets the transport add its own non-deterministic
+    gauges (request totals, uptime) without touching the registry.
+    """
+    from repro import __version__
+    from repro.util.intervals import hotpath_mode
+
+    lines = [
+        "# HELP repro_build_info Library version and engine mode "
+        "(value is always 1).",
+        "# TYPE repro_build_info gauge",
+        f'repro_build_info{{version="{__version__}",'
+        f'engine_mode="{hotpath_mode()}"}} 1',
+        "# HELP repro_obs_enabled Whether deterministic counter "
+        "collection is on.",
+        "# TYPE repro_obs_enabled gauge",
+        f"repro_obs_enabled {int(_counters.ACTIVE)}",
+    ]
+    values = _counters.snapshot()
+    for counter in sorted(_counters.COUNTERS):
+        name = metric_name(counter)
+        lines.append(f"# HELP {name} {_counters.COUNTERS[counter]}")
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"{name} {values.get(counter, 0)}")
+    for gauge, value in sorted((extra_gauges or {}).items()):
+        lines.append(f"# TYPE {gauge} gauge")
+        g = int(value) if float(value).is_integer() else value
+        lines.append(f"{gauge} {g}")
+    return "\n".join(lines) + "\n"

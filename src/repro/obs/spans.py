@@ -1,0 +1,95 @@
+"""Scoped wall-time spans: ``with obs.span("settle"): ...``.
+
+A span always measures its own wall time (two ``perf_counter`` calls —
+cheap enough for per-request/per-cell granularity, so callers that
+used to keep ad-hoc ``t0 = perf_counter()`` pairs read
+``sp.elapsed_s`` instead and there is exactly one timing code path).
+The *record* — name, start, duration, nesting depth, thread — is kept
+only while the layer is collecting (``counters.ACTIVE``), bounded by
+``MAX_RECORDS`` so a long-lived server cannot grow without bound.
+
+Spans nest through a per-thread stack; the records are what
+``repro profile`` tabulates and :mod:`repro.obs.chrometrace` exports
+as ``chrome://tracing`` JSON. Wall times are telemetry, never part of
+any artifact — the byte-identity contracts do not see them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs import counters as _counters
+
+__all__ = ["Span", "span", "span_records", "reset_spans", "MAX_RECORDS"]
+
+#: record-buffer bound; beyond it spans still time, but stop recording
+MAX_RECORDS = 100_000
+
+#: one clock epoch per process so record starts are comparable
+_EPOCH = time.perf_counter()
+
+_records: List[Dict[str, Any]] = []
+_records_lock = threading.Lock()
+_stack = threading.local()
+
+
+class Span:
+    """Context manager measuring one scoped region.
+
+    ``elapsed_s`` is valid after exit whether or not collection is on.
+    """
+
+    __slots__ = ("name", "attrs", "_t0", "elapsed_s", "_depth")
+
+    def __init__(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        self.name = name
+        self.attrs = attrs
+        self.elapsed_s = 0.0
+        self._t0 = 0.0
+        self._depth = 0
+
+    def __enter__(self) -> "Span":
+        stack = getattr(_stack, "names", None)
+        if stack is None:
+            stack = _stack.names = []
+        self._depth = len(stack)
+        stack.append(self.name)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        t1 = time.perf_counter()
+        self.elapsed_s = t1 - self._t0
+        _stack.names.pop()
+        if _counters.ACTIVE:
+            record = {
+                "name": self.name,
+                "start_s": self._t0 - _EPOCH,
+                "dur_s": self.elapsed_s,
+                "depth": self._depth,
+                "thread": threading.current_thread().name,
+            }
+            if self.attrs:
+                record["attrs"] = dict(self.attrs)
+            with _records_lock:
+                if len(_records) < MAX_RECORDS:
+                    _records.append(record)
+
+
+def span(name: str, **attrs: Any) -> Span:
+    """Open a scoped span (see module docstring)."""
+    return Span(name, attrs or None)
+
+
+def span_records() -> List[Dict[str, Any]]:
+    """Copy of the recorded spans, in completion order."""
+    with _records_lock:
+        return [dict(r) for r in _records]
+
+
+def reset_spans() -> None:
+    """Drop every recorded span."""
+    with _records_lock:
+        _records.clear()

@@ -52,6 +52,7 @@ import numpy as np
 from repro.network.routing import shortest_path
 from repro.network.system import HeterogeneousSystem, LinkHeterogeneity
 from repro.network.topology import Link, Proc
+from repro.obs import counters as _obs
 from repro.schedule.events import Edge
 from repro.util.intervals import Timeline
 from repro.util.tolerance import EPS
@@ -246,7 +247,11 @@ class ArrayState:
         """
         hit = self._tries.get(src)
         if hit is None:
+            if _obs.ACTIVE:
+                _obs.inc("route.trie_misses")
             hit = self._tries[src] = self._build_trie(src)
+        elif _obs.ACTIVE:
+            _obs.inc("route.trie_hits")
         return hit
 
     def _build_trie(self, src: Proc) -> tuple:

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.errors import SchedulingError
 from repro.graph.model import TaskId
 from repro.network.system import HeterogeneousSystem
+from repro.obs import counters as _obs
 from repro.network.topology import Link, Proc, link_id
 from repro.schedule.events import Edge, MessageHop, Route, TaskSlot
 from repro.util.intervals import Interval, Timeline, array_enabled
@@ -640,6 +641,8 @@ class ScheduleTxn:
     # -- closing ---------------------------------------------------------
     def rollback(self) -> None:
         """Reverse every recorded mutation and close the transaction."""
+        if _obs.ACTIVE:
+            _obs.inc("txn.rollbacks")
         sched = self.sched
         for obj, start, finish in reversed(self.times):
             obj.start = start

@@ -51,6 +51,7 @@ import heapq
 from typing import Dict, List, Tuple
 
 from repro.errors import CycleError, SchedulingError
+from repro.obs import counters as _obs
 from repro.schedule.schedule import Schedule
 from repro.util.intervals import fast_path_enabled
 
@@ -69,6 +70,8 @@ def _settle_fast(schedule: Schedule) -> Schedule:
     the same, and Kahn's algorithm computes each start as a max over
     predecessors independent of traversal order.
     """
+    if _obs.ACTIVE:
+        _obs.inc("settle.full_passes")
     system = schedule.system
     graph = system.graph
     exec_cost = system.exec_cost
@@ -282,6 +285,9 @@ def settle_incremental(schedule: Schedule, seed_tasks, seed_hops) -> Schedule:
         if pops > budget:
             # almost certainly a contradictory order cycle: let the full
             # pass prove it (or, if not, settle everything exactly)
+            if _obs.ACTIVE:
+                _obs.inc("settle.budget_fallbacks")
+                _obs.inc("settle.cone_pops", pops)
             return _settle_fast(schedule)
         _, _, is_hop, obj = heappop(heap)
         pending.discard(id(obj))
@@ -434,6 +440,9 @@ def settle_incremental(schedule: Schedule, seed_tasks, seed_hops) -> Schedule:
     for hop in live_seed_hops:
         touched_channels.add(hop._chan)
 
+    if _obs.ACTIVE:
+        _obs.inc("settle.incremental_runs")
+        _obs.inc("settle.cone_pops", pops)
     schedule.resort_partial(touched_procs, touched_channels)
     return schedule
 
@@ -522,6 +531,9 @@ def settle_array(schedule: Schedule, seed_tasks, seed_hops) -> Schedule:
     while heap:
         pops += 1
         if pops > budget:
+            if _obs.ACTIVE:
+                _obs.inc("settle.budget_fallbacks")
+                _obs.inc("settle.cone_pops", pops)
             return _settle_fast(schedule)
         _, _, is_hop, obj = heappop(heap)
         pending.discard(id(obj))
@@ -663,6 +675,9 @@ def settle_array(schedule: Schedule, seed_tasks, seed_hops) -> Schedule:
     for hop in live_seed_hops:
         touched_channels.add(hop._chan)
 
+    if _obs.ACTIVE:
+        _obs.inc("settle.incremental_runs")
+        _obs.inc("settle.cone_pops", pops)
     schedule.resort_partial(touched_procs, touched_channels)
     return schedule
 

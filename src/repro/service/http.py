@@ -28,7 +28,20 @@ Endpoints
   the response body is the canonical Pareto artifact JSON,
   byte-identical to ``repro pareto`` stdout for the same request.
 * ``GET /jobs/<id>`` — poll an async job: status, then the full result
-  payload (with cache/provenance metadata) once done.
+  payload (with cache/provenance metadata) once done, plus the job's
+  ``wall_ms``.
+* ``GET /metrics`` — Prometheus text exposition of the deterministic
+  engine counters (:mod:`repro.obs.promtext`) plus transport gauges.
+  Like ``/health`` it is never auth-gated: it is a monitoring surface,
+  and it carries no request data.
+
+Observability: every POST response carries an ``X-Repro-Wall-Ms``
+header (the pipeline's measured wall time — telemetry rides in
+headers, never the canonical body). With ``--log-file`` the server
+appends one NDJSON record per request (method, path, status, request
+key, cache disposition, wall ms) through :mod:`repro.obs.ndjson`;
+``--obs`` turns on the deterministic counter registry that
+``/metrics`` renders.
 
 Errors are structured everywhere: the body is
 ``{error, kind, detail, violations?}`` from
@@ -42,10 +55,11 @@ import json
 import queue
 import sys
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional
 
-from repro import __version__
+from repro import __version__, obs
 from repro.errors import ConfigurationError
 from repro.service.errors import error_payload, http_status_for
 from repro.service.pipeline import execute
@@ -106,7 +120,8 @@ class JobStore:
             with self._lock:
                 self._jobs[job_id]["status"] = "running"
             try:
-                response = fn()
+                with obs.span("job.sweep", job_id=job_id) as sp:
+                    response = fn()
             except Exception as exc:  # noqa: BLE001 - reported to the poller
                 with self._lock:
                     self._jobs[job_id]["status"] = "failed"
@@ -115,6 +130,11 @@ class JobStore:
                 with self._lock:
                     self._jobs[job_id]["status"] = "done"
                     self._jobs[job_id]["result"] = response.to_dict()
+                    # surfaced in the poll payload; wall time is
+                    # telemetry, so it rides beside the result, not in it
+                    self._jobs[job_id]["wall_ms"] = round(
+                        sp.elapsed_s * 1000.0, 3
+                    )
 
 
 class ReproServer(ThreadingHTTPServer):
@@ -125,14 +145,26 @@ class ReproServer(ThreadingHTTPServer):
     def __init__(self, address, api_key: Optional[str] = None,
                  jobs: int = 1,
                  async_threshold: int = DEFAULT_ASYNC_THRESHOLD,
-                 use_cache: bool = True, quiet: bool = False):
+                 use_cache: bool = True, quiet: bool = False,
+                 log_file: Optional[str] = None):
         super().__init__(address, _Handler)
         self.api_key = api_key
         self.jobs = max(1, jobs)
         self.async_threshold = max(0, async_threshold)
         self.use_cache = use_cache
         self.quiet = quiet
+        self.log_file = log_file
+        if log_file:
+            obs.configure_log(log_file)
         self.job_store = JobStore()
+        self.started_at = time.time()
+        self._stats_lock = threading.Lock()
+        self.requests_served = 0
+
+    def count_request(self) -> int:
+        with self._stats_lock:
+            self.requests_served += 1
+            return self.requests_served
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -146,9 +178,14 @@ class _Handler(BaseHTTPRequestHandler):
                 f"repro serve: {self.address_string()} {fmt % args}\n"
             )
 
+    #: filled per request by the logging wrapper / handlers
+    _log_status: Optional[int] = None
+    _log_fields: Optional[Dict[str, Any]] = None
+
     def _send(self, status: int, body: bytes,
               content_type: str = "application/json",
               headers: Optional[Dict[str, str]] = None) -> None:
+        self._log_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -207,10 +244,54 @@ class _Handler(BaseHTTPRequestHandler):
             )
         return doc
 
+    def _wall_headers(self, response,
+                      extra: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        """Response headers + the pipeline's measured wall time."""
+        headers = dict(extra or {})
+        wall_ms = response.extra.get("wall_ms")
+        if wall_ms is not None:
+            headers["X-Repro-Wall-Ms"] = f"{wall_ms:.3f}"
+        return headers
+
+    def _dispatch_logged(self, method: str, fn) -> None:
+        """Run a request handler; append one NDJSON record per request
+        (a no-op without ``--log-file``). Wall time is measured around
+        the whole handler, auth and serialization included."""
+        self.server.count_request()
+        self._log_status = None
+        self._log_fields = {}
+        with obs.span(f"http.{method}", path=self.path) as sp:
+            fn()
+        obs.log_json(
+            event="request",
+            ts=round(time.time(), 3),
+            client=self.address_string(),
+            method=method,
+            path=self.path,
+            status=self._log_status,
+            wall_ms=round(sp.elapsed_s * 1000.0, 3),
+            **(self._log_fields or {}),
+        )
+
     # -- GET -----------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch_logged("GET", self._do_get)
+
+    def _do_get(self) -> None:
         from repro.util.intervals import hotpath_mode
 
+        if self.path == "/metrics":
+            # monitoring surface: open like /health, carries no request
+            # data — just the counter registry and transport gauges
+            from repro.obs.promtext import CONTENT_TYPE, render_metrics
+
+            text = render_metrics(extra_gauges={
+                "repro_http_requests": self.server.requests_served,
+                "repro_http_uptime_seconds": round(
+                    time.time() - self.server.started_at, 3),
+            })
+            self._send(200, text.encode("utf-8"), content_type=CONTENT_TYPE)
+            return
         if self.path == "/health":
             # liveness stays open even when the API is key-gated
             self._send_json(200, {
@@ -245,12 +326,16 @@ class _Handler(BaseHTTPRequestHandler):
             if job is None:
                 self._not_found(f"no such job {job_id!r}")
             else:
+                self._log_fields["request_key"] = job.get("request_key")
                 self._send_json(200, job)
             return
         self._not_found(f"no such endpoint GET {self.path}")
 
     # -- POST ----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch_logged("POST", self._do_post)
+
+    def _do_post(self) -> None:
         if not self._authorized():
             self._reject_unauthorized()
             return
@@ -278,14 +363,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "(topology_spec=...)"
             )
         response = execute(request, use_cache=self.server.use_cache)
+        self._log_fields.update(request_key=response.request_key,
+                                cache=response.cache)
         # the body IS the canonical bundle — byte-identical to the CLI's
         # --export-bundle file for the same request
         self._send(
             200, response.bundle_text.encode("utf-8"),
-            headers={
+            headers=self._wall_headers(response, {
                 "X-Repro-Cache": response.cache,
                 "X-Repro-Request-Key": response.request_key,
-            },
+            }),
         )
 
     def _post_convert(self) -> None:
@@ -297,14 +384,16 @@ class _Handler(BaseHTTPRequestHandler):
                 "files; send the document inline (graph=... + to_fmt=...)"
             )
         response = execute(request)
+        self._log_fields.update(request_key=response.request_key,
+                                cache=response.cache)
         self._send(
             200, response.extra["output"].encode("utf-8"),
             content_type="text/plain; charset=utf-8",
-            headers={
+            headers=self._wall_headers(response, {
                 "X-Repro-From": response.summary["from"],
                 "X-Repro-To": response.summary["to"],
                 "X-Repro-Request-Key": response.request_key,
-            },
+            }),
         )
 
     def _post_pareto(self) -> None:
@@ -312,14 +401,16 @@ class _Handler(BaseHTTPRequestHandler):
         request = ParetoRequest.from_dict(doc)
         response = execute(request, use_cache=self.server.use_cache,
                            jobs=self.server.jobs)
+        self._log_fields.update(request_key=response.request_key,
+                                cache=response.cache)
         # the body IS the canonical Pareto artifact — byte-identical to
         # `repro pareto` stdout for the same request
         self._send(
             200, response.bundle_text.encode("utf-8"),
-            headers={
+            headers=self._wall_headers(response, {
                 "X-Repro-Cache": response.cache,
                 "X-Repro-Request-Key": response.request_key,
-            },
+            }),
         )
 
     def _post_sweep(self) -> None:
@@ -333,6 +424,8 @@ class _Handler(BaseHTTPRequestHandler):
                 lambda: execute(request, use_cache=server.use_cache,
                                 jobs=server.jobs),
             )
+            self._log_fields.update(request_key=request.idempotency_key(),
+                                    job_id=job_id)
             self._send_json(202, {
                 "job_id": job_id,
                 "poll": f"/jobs/{job_id}",
@@ -342,35 +435,45 @@ class _Handler(BaseHTTPRequestHandler):
             return
         response = execute(request, use_cache=server.use_cache,
                            jobs=server.jobs)
-        self._send_json(200, response.to_dict(), headers={
-            "X-Repro-Cache": response.cache,
-            "X-Repro-Request-Key": response.request_key,
-        })
+        self._log_fields.update(request_key=response.request_key,
+                                cache=response.cache)
+        self._send_json(200, response.to_dict(),
+                        headers=self._wall_headers(response, {
+                            "X-Repro-Cache": response.cache,
+                            "X-Repro-Request-Key": response.request_key,
+                        }))
 
 
 def make_server(host: str = "127.0.0.1", port: int = 0,
                 api_key: Optional[str] = None, jobs: int = 1,
                 async_threshold: int = DEFAULT_ASYNC_THRESHOLD,
-                use_cache: bool = True, quiet: bool = False) -> ReproServer:
+                use_cache: bool = True, quiet: bool = False,
+                log_file: Optional[str] = None) -> ReproServer:
     """Bind a :class:`ReproServer` (``port=0`` picks a free port)."""
     return ReproServer(
         (host, port), api_key=api_key, jobs=jobs,
         async_threshold=async_threshold, use_cache=use_cache, quiet=quiet,
+        log_file=log_file,
     )
 
 
 def serve(host: str, port: int, api_key: Optional[str] = None,
           jobs: int = 1, async_threshold: int = DEFAULT_ASYNC_THRESHOLD,
-          use_cache: bool = True) -> int:
+          use_cache: bool = True, log_file: Optional[str] = None,
+          obs_counters: bool = False) -> int:
     """Run the service until interrupted (the ``repro serve`` command)."""
+    if obs_counters:
+        obs.enable()
     server = make_server(host, port, api_key=api_key, jobs=jobs,
-                         async_threshold=async_threshold, use_cache=use_cache)
+                         async_threshold=async_threshold, use_cache=use_cache,
+                         log_file=log_file)
     bound_host, bound_port = server.server_address[:2]
     gate = "X-API-Key required" if api_key else "open"
-    sys.stderr.write(
+    log_note = f", logging to {log_file}" if log_file else ""
+    obs.telemetry(
         f"repro serve: listening on http://{bound_host}:{bound_port} "
         f"({gate}; sweep jobs={max(1, jobs)}, "
-        f"async threshold={async_threshold} cells)\n"
+        f"async threshold={async_threshold} cells{log_note})"
     )
     try:
         server.serve_forever()

@@ -32,10 +32,10 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Optional
 
+from repro import obs
 from repro.errors import ConfigurationError, DisconnectedGraphError
 from repro.service.requests import (
     ConvertRequest,
@@ -199,11 +199,13 @@ def _run_scheduler(req, system):
     from repro.experiments.runner import _SCHEDULERS
     from repro.schedule.validator import validate_schedule
 
-    if req.algorithm == "bsa":
-        sched = schedule_bsa(system, BSAOptions(seed=req.seed))
-    else:
-        sched = _SCHEDULERS[req.algorithm](system)
-    validate_schedule(sched)
+    with obs.span("schedule.algorithm", algorithm=req.algorithm):
+        if req.algorithm == "bsa":
+            sched = schedule_bsa(system, BSAOptions(seed=req.seed))
+        else:
+            sched = _SCHEDULERS[req.algorithm](system)
+    with obs.span("schedule.validate"):
+        validate_schedule(sched)
     return sched
 
 
@@ -238,7 +240,8 @@ def _execute_schedule(req: ScheduleRequest, cache, use_cache: bool,
                 provenance=dict(hit.get(PROVENANCE_KEY) or {}),
             )
 
-    system = build_schedule_system(req)
+    with obs.span("schedule.build_system"):
+        system = build_schedule_system(req)
     sched = _run_scheduler(req, system)
     metrics = compute_metrics(sched)
     bundle_text = bundle_to_json(relabel_schedule(sched), indent=2) + "\n"
@@ -471,21 +474,24 @@ def execute(
     them via :mod:`repro.service.errors`.
     """
     request.validate()
-    t0 = time.perf_counter()
-    if isinstance(request, ScheduleRequest):
-        resp = _execute_schedule(request, cache, use_cache, want_schedule)
-    elif isinstance(request, ConvertRequest):
-        resp = _execute_convert(request)
-    elif isinstance(request, SweepRequest):
-        resp = _execute_sweep(request, cache, use_cache, jobs, progress)
-    elif isinstance(request, SimulateRequest):
-        resp = _execute_simulate(request)
-    elif isinstance(request, ParetoRequest):
-        resp = _execute_pareto(request, cache, use_cache, jobs, progress)
-    else:
-        raise ConfigurationError(
-            f"not a service request: {type(request).__name__}"
-        )
-    # wall clock is transport telemetry, never part of the artifact
-    resp.extra["wall_s"] = time.perf_counter() - t0
+    kind = getattr(request, "TYPE", type(request).__name__)
+    with obs.span("service.execute", kind=kind) as sp:
+        if isinstance(request, ScheduleRequest):
+            resp = _execute_schedule(request, cache, use_cache, want_schedule)
+        elif isinstance(request, ConvertRequest):
+            resp = _execute_convert(request)
+        elif isinstance(request, SweepRequest):
+            resp = _execute_sweep(request, cache, use_cache, jobs, progress)
+        elif isinstance(request, SimulateRequest):
+            resp = _execute_simulate(request)
+        elif isinstance(request, ParetoRequest):
+            resp = _execute_pareto(request, cache, use_cache, jobs, progress)
+        else:
+            raise ConfigurationError(
+                f"not a service request: {type(request).__name__}"
+            )
+    # wall clock is transport telemetry, never part of the artifact —
+    # it rides in extra (in-process) and headers (HTTP), never the body
+    resp.extra["wall_s"] = sp.elapsed_s
+    resp.extra["wall_ms"] = round(sp.elapsed_s * 1000.0, 3)
     return resp

@@ -301,3 +301,49 @@ class TestSimulateReplay:
         capsys.readouterr()
         assert main(["replay", str(bundle)]) == 0
         assert "replay OK" in capsys.readouterr().out
+
+
+class TestTraceProfile:
+    def test_trace_from_bundle(self, tmp_path, capsys):
+        import json
+
+        bundle = tmp_path / "sched.bundle.json"
+        assert main(["schedule", "-w", "gauss", "-n", "24", "-t", "ring",
+                     "-p", "4", "--export-bundle", str(bundle)]) == 0
+        capsys.readouterr()
+        out = tmp_path / "trace.json"
+        assert main(["trace", str(bundle), "-o", str(out)]) == 0
+        assert "chrome trace" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        assert any(e.get("cat") == "task" for e in doc["traceEvents"])
+        # without -o the trace goes to stdout
+        assert main(["trace", str(bundle)]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_trace_rejects_garbage(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json at all")
+        assert main(["trace", str(bad)]) != 0
+        capsys.readouterr()
+
+    def test_profile_prints_counters_and_spans(self, tmp_path, capsys):
+        import json
+
+        from repro import obs
+        from repro.obs import counters as counters_mod
+
+        was_active = counters_mod.ACTIVE
+        trace = tmp_path / "spans.json"
+        try:
+            assert main(["profile", "-n", "24", "-t", "ring",
+                         "--trace", str(trace)]) == 0
+        finally:
+            if not was_active:
+                obs.disable()
+            obs.reset()
+            obs.reset_spans()
+        out = capsys.readouterr().out
+        assert "engine counters" in out
+        assert "bsa.candidates_evaluated" in out
+        assert "service.execute" in out
+        json.loads(trace.read_text())

@@ -351,3 +351,83 @@ class TestExperimentsSection12:
         )
         assert report["front"] == mod.PINNED_PARETO_FRONT
         assert report["cell"] == mod.CELL_PARETO.key()
+
+
+class TestReadmeObservability:
+    def test_counter_table_matches_registry(self):
+        """The README Observability table is generated from
+        repro.obs.counters.COUNTERS and the promtext name mapping —
+        every registered counter must have an exact row, and no row
+        may name an unregistered counter."""
+        from repro.obs.counters import COUNTERS
+        from repro.obs.promtext import metric_name
+
+        readme = _read("README.md")
+        for counter, help_text in COUNTERS.items():
+            row = (f"| `{counter}` | `{metric_name(counter)}` "
+                   f"| {help_text} |")
+            assert row in readme, (
+                f"README Observability table does not match the "
+                f"registry for {counter}: expected {row!r}"
+            )
+        for m in re.finditer(r"\| `([a-z]+\.[a-z_]+)` \| `repro_", readme):
+            assert m.group(1) in COUNTERS, (
+                f"README documents unregistered counter {m.group(1)!r}"
+            )
+
+    def test_architecture_covers_obs(self):
+        text = _read("ARCHITECTURE.md")
+        assert "obs/" in text
+        assert "## The observability layer (`obs/`)" in text
+        assert "REPRO_OBS" in text
+
+
+class TestExperimentsSection13:
+    def test_section_exists_with_commands(self):
+        text = _read("EXPERIMENTS.md")
+        assert "## 13. Observability" in text
+        section = text.split("## 13.")[1]
+        assert "bench_obs.py" in section
+        assert "repro profile" in section
+        assert "tests/test_obs.py" in section
+
+    def test_counter_table_matches_bench(self):
+        """The §13 table is generated from BENCH_obs.json — both are
+        committed, so every per-mode counter row must agree."""
+        import json
+
+        report = json.load(open(os.path.join(REPO_ROOT, "BENCH_obs.json")))
+        assert report["reps_identical"], (
+            "committed bench violates its own rep-to-rep identity check"
+        )
+        assert report["jobs_identical"], (
+            "committed bench violates its own --jobs identity check"
+        )
+        modes = ["legacy", "fast", "incremental", "array"]
+        assert set(modes) <= set(report["modes"])
+        names = sorted({c for m in modes for c in report["modes"][m]})
+        section = _read("EXPERIMENTS.md").split("## 13.")[1]
+        squashed = " ".join(section.split())
+        for counter in names:
+            cells = [str(report["modes"][m].get(counter, "—"))
+                     for m in modes]
+            row = f"| `{counter}` | " + " | ".join(cells) + " |"
+            assert " ".join(row.split()) in squashed, (
+                f"EXPERIMENTS §13 row for {counter} does not match "
+                f"BENCH_obs.json: expected {row!r}"
+            )
+
+    def test_golden_cell_matches_obs_suite(self):
+        """§13's incremental column must be the same snapshot the
+        golden pin in tests/test_obs.py enforces, on the same cell."""
+        import importlib.util
+        import json
+
+        spec = importlib.util.spec_from_file_location(
+            "obs_tests", os.path.join(REPO_ROOT, "tests", "test_obs.py"),
+        )
+        mod = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(mod)
+        report = json.load(open(os.path.join(REPO_ROOT, "BENCH_obs.json")))
+        assert report["modes"]["incremental"] == mod.GOLDEN_INCREMENTAL_N40
+        assert report["cell"] == mod._pinned_cell().key()
